@@ -1,0 +1,151 @@
+//! A roofline performance model of the NVIDIA H100 SXM (the cuSPARSE
+//! analogue).
+//!
+//! No GPU exists in this environment, so the GPU column of the paper's
+//! Figures 7 and 8 is reproduced with a deterministic analytical model.
+//! The modelled effects are the ones that dominate sparse linear algebra
+//! on GPUs and that the paper's discussion leans on:
+//!
+//! * SpMV and vector work are **memory-bandwidth bound**: time =
+//!   bytes / HBM bandwidth + kernel-launch latency;
+//! * sparse **triangular solves** (the ILU substitutions) are limited by
+//!   level-set serialisation: every dependency level costs at least one
+//!   kernel-scale latency, so matrices with thousands of levels crawl —
+//!   the reason cuSPARSE's analysis phase exists;
+//! * **dot products** pay a device-wide reduction latency.
+//!
+//! Parameters default to published H100 SXM numbers. The model is
+//! validated qualitatively in EXPERIMENTS.md, not calibrated against real
+//! runs.
+
+use sparse::formats::CsrMatrix;
+
+/// Analytical GPU timing model.
+#[derive(Clone, Debug)]
+pub struct GpuModel {
+    /// Effective memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Peak f64 FLOP/s (FP64 on H100 SXM: 34 TFLOP/s).
+    pub peak_flops: f64,
+    /// Kernel launch + scheduling latency per kernel, seconds.
+    pub kernel_latency: f64,
+    /// Per-dependency-level synchronisation latency inside a sparse
+    /// triangular solve (cuSPARSE runs one kernel with device-side level
+    /// barriers, cheaper than a launch but far from free).
+    pub level_sync_latency: f64,
+    /// Extra latency of a device-wide reduction (dot product), seconds.
+    pub reduction_latency: f64,
+    /// Fraction of peak bandwidth achieved by irregular (gathered) access.
+    pub gather_efficiency: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA H100 SXM (the paper's comparison GPU, Table III).
+    pub fn h100() -> GpuModel {
+        GpuModel {
+            mem_bandwidth: 3.35e12,
+            peak_flops: 34e12,
+            kernel_latency: 5e-6,
+            level_sync_latency: 1.2e-6,
+            reduction_latency: 8e-6,
+            gather_efficiency: 0.55,
+        }
+    }
+
+    /// Bytes moved by one CSR SpMV in f64 (values, column indices, row
+    /// pointers, x gathered, y written).
+    pub fn spmv_bytes(&self, a: &CsrMatrix) -> f64 {
+        let nnz = a.nnz() as f64;
+        let rows = a.nrows as f64;
+        // vals (8) + col idx (4) per nnz; x gather: one 8-byte access per
+        // nnz at reduced efficiency folded in below; rptr (4) + y (8) per
+        // row.
+        nnz * (8.0 + 4.0) + nnz * 8.0 / self.gather_efficiency + rows * (4.0 + 8.0)
+    }
+
+    /// Time for one f64 SpMV.
+    pub fn spmv_time(&self, a: &CsrMatrix) -> f64 {
+        let bytes = self.spmv_bytes(a);
+        let flops = 2.0 * a.nnz() as f64;
+        self.kernel_latency + (bytes / self.mem_bandwidth).max(flops / self.peak_flops)
+    }
+
+    /// Time for one elementwise vector op over `n` f64 elements
+    /// (axpy-like: 2 reads + 1 write).
+    pub fn vector_op_time(&self, n: usize) -> f64 {
+        self.kernel_latency + 24.0 * n as f64 / self.mem_bandwidth
+    }
+
+    /// Time for one dot product over `n` f64 elements.
+    pub fn dot_time(&self, n: usize) -> f64 {
+        self.reduction_latency + 16.0 * n as f64 / self.mem_bandwidth
+    }
+
+    /// Time for one sparse triangular solve with `levels` dependency
+    /// levels over `nnz` nonzeros: each level is (at least) one dependent
+    /// kernel-scale step, plus the bandwidth term for the matrix data.
+    pub fn triangular_solve_time(&self, levels: usize, nnz: usize, rows: usize) -> f64 {
+        let bytes = nnz as f64 * (8.0 + 4.0 + 8.0 / self.gather_efficiency)
+            + rows as f64 * (4.0 + 8.0 + 8.0);
+        self.kernel_latency
+            + levels.saturating_sub(1) as f64 * self.level_sync_latency
+            + bytes / self.mem_bandwidth
+    }
+
+    /// Time for one BiCGStab+ILU(0) iteration: 2 SpMVs, 2 preconditioner
+    /// applications (forward+backward each), ~6 vector ops, 4 dots.
+    pub fn bicgstab_ilu_iteration_time(
+        &self,
+        a: &CsrMatrix,
+        fwd_levels: usize,
+        bwd_levels: usize,
+    ) -> f64 {
+        let n = a.nrows;
+        2.0 * self.spmv_time(a)
+            + 2.0 * (self.triangular_solve_time(fwd_levels, a.nnz() / 2, n)
+                + self.triangular_solve_time(bwd_levels, a.nnz() / 2, n))
+            + 6.0 * self.vector_op_time(n)
+            + 4.0 * self.dot_time(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{poisson_3d_7pt, tridiagonal};
+
+    #[test]
+    fn spmv_is_bandwidth_bound_for_sparse() {
+        let g = GpuModel::h100();
+        let a = poisson_3d_7pt(64, 64, 64);
+        let t = g.spmv_time(&a);
+        // Far above pure latency, far below a second.
+        assert!(t > 2.0 * g.kernel_latency);
+        assert!(t < 1e-2);
+        // Doubling the matrix roughly doubles the time (bandwidth bound).
+        let b = poisson_3d_7pt(64, 64, 128);
+        let ratio = g.spmv_time(&b) / t;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn triangular_solve_dominated_by_levels_when_sequential() {
+        let g = GpuModel::h100();
+        // A tridiagonal system: n levels — latency dominated.
+        let n = 100_000;
+        let t_seq = g.triangular_solve_time(n, 2 * n, n);
+        let t_par = g.triangular_solve_time(10, 2 * n, n);
+        assert!(t_seq > 50.0 * t_par, "{t_seq} vs {t_par}");
+        assert!(t_seq > (n - 1) as f64 * g.level_sync_latency);
+        let _ = tridiagonal(4); // keep the import honest
+    }
+
+    #[test]
+    fn iteration_time_composes() {
+        let g = GpuModel::h100();
+        let a = poisson_3d_7pt(20, 20, 20);
+        let it = g.bicgstab_ilu_iteration_time(&a, 58, 58);
+        assert!(it > 2.0 * g.spmv_time(&a));
+        assert!(it.is_finite() && it > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # baselines — the evaluation's CPU and GPU comparators
+//!
+//! The paper benchmarks its IPU framework against HYPRE on an Intel Xeon
+//! Platinum 8470Q (MPI) and HYPRE+cuSPARSE on an NVIDIA H100 (§VI-A).
+//! Neither that exact CPU nor any GPU is available here, so:
+//!
+//! * [`cpu`] implements the same algorithms natively in Rust — f64 CSR
+//!   SpMV, BiCGStab and (block-)ILU(0) — sequential and rayon-parallel,
+//!   measured in *wall time on the benchmark host* with the paper's
+//!   warm-up methodology;
+//! * [`gpu`] is a deterministic **roofline performance model** of the H100
+//!   (SpMV and vector work bandwidth-bound on HBM3; triangular solves
+//!   limited by level-set serialisation and kernel-launch latency), since
+//!   no CUDA device exists in this environment.
+//!
+//! EXPERIMENTS.md documents how these substitutions affect the comparison:
+//! the *shape* (who wins, where, by roughly how much) is meaningful, the
+//! absolute ratios inherit the host's hardware.
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::{CpuSolveStats, CpuSolver};
+pub use gpu::GpuModel;

@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the arithmetic substrate: native floats
+//! versus the two double-word families (host-side throughput; the *device*
+//! cycle comparison is `cargo run -p graphene-bench --bin table1`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use twofloat::{joldes, lange_rump, FastTwoFloat, TwoF32, TwoFloat};
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalar_ops");
+    let a32 = black_box(1.234567f32);
+    let b32 = black_box(7.654321f32);
+    g.bench_function("f32_mul", |b| b.iter(|| black_box(a32) * black_box(b32)));
+    g.bench_function("f64_mul", |b| {
+        b.iter(|| black_box(a32 as f64) * black_box(b32 as f64))
+    });
+    let x = TwoF32::from_f64(1.2345678901);
+    let y = TwoF32::from_f64(7.6543210987);
+    g.bench_function("dw_joldes_add", |b| b.iter(|| black_box(x) + black_box(y)));
+    g.bench_function("dw_joldes_mul", |b| b.iter(|| black_box(x) * black_box(y)));
+    g.bench_function("dw_joldes_div", |b| b.iter(|| black_box(x) / black_box(y)));
+    let xf = FastTwoFloat::<f32>::from_f64(1.2345678901);
+    let yf = FastTwoFloat::<f32>::from_f64(7.6543210987);
+    g.bench_function("dw_lange_rump_add", |b| b.iter(|| black_box(xf) + black_box(yf)));
+    g.bench_function("dw_lange_rump_mul", |b| b.iter(|| black_box(xf) * black_box(yf)));
+    g.finish();
+}
+
+fn bench_accumulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_product_1k");
+    let xs: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+    let ys: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.73).cos()).collect();
+    g.bench_function("f32", |b| {
+        b.iter(|| xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f32>())
+    });
+    g.bench_function("dw_joldes", |b| {
+        b.iter(|| {
+            let mut acc = (0.0f32, 0.0f32);
+            for (x, y) in xs.iter().zip(&ys) {
+                let (ph, pl) = twofloat::two_prod(*x, *y);
+                let t = joldes::add_dw_dw(acc.0, acc.1, ph, pl);
+                acc = t;
+            }
+            acc
+        })
+    });
+    g.bench_function("dw_lange_rump", |b| {
+        b.iter(|| {
+            let mut acc = (0.0f32, 0.0f32);
+            for (x, y) in xs.iter().zip(&ys) {
+                let (ph, pl) = twofloat::two_prod(*x, *y);
+                let t = lange_rump::add_dw_dw(acc.0, acc.1, ph, pl);
+                acc = t;
+            }
+            acc
+        })
+    });
+    g.bench_function("f64", |b| {
+        b.iter(|| xs.iter().zip(&ys).map(|(x, y)| *x as f64 * *y as f64).sum::<f64>())
+    });
+    g.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    c.bench_function("dw_from_f64", |b| {
+        b.iter(|| TwoFloat::<f32>::from_f64(black_box(std::f64::consts::PI)))
+    });
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_accumulation, bench_conversions);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the host-side kernels: the CPU baseline's CSR
+//! SpMV (sequential vs rayon), ILU(0) factorisation, and the framework's
+//! compile-time analyses (halo decomposition, level sets, partitioning).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse::formats::CsrMatrix;
+use sparse::gen::{poisson_3d_7pt, Grid3};
+use sparse::halo::HaloDecomposition;
+use sparse::levelset::{LevelSets, Sweep};
+use sparse::partition::Partition;
+
+fn matrix() -> CsrMatrix {
+    poisson_3d_7pt(24, 24, 24)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = matrix();
+    let x: Vec<f64> = (0..a.nrows).map(|i| (i as f64 * 0.17).sin()).collect();
+    let mut y = vec![0.0; a.nrows];
+    let mut g = c.benchmark_group("cpu_spmv_24cubed");
+    g.bench_function("sequential", |b| {
+        b.iter(|| baselines::cpu::spmv_seq(black_box(&a), black_box(&x), &mut y))
+    });
+    g.bench_function("rayon", |b| {
+        b.iter(|| baselines::cpu::spmv_par(black_box(&a), black_box(&x), &mut y))
+    });
+    g.finish();
+}
+
+fn bench_ilu_factorise(c: &mut Criterion) {
+    let a = matrix();
+    c.bench_function("cpu_ilu0_factorise_24cubed", |b| {
+        b.iter(|| baselines::cpu::Ilu0Factors::new(black_box(&a)))
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let a = matrix();
+    let grid = Grid3 { nx: 24, ny: 24, nz: 24 };
+    let mut g = c.benchmark_group("compile_analyses");
+    for tiles in [8usize, 64] {
+        let part = Partition::grid_3d_auto(grid, tiles);
+        g.bench_with_input(BenchmarkId::new("halo_decomposition", tiles), &part, |b, p| {
+            b.iter(|| HaloDecomposition::build(black_box(&a), black_box(p)))
+        });
+    }
+    g.bench_function("level_sets_forward", |b| {
+        b.iter(|| LevelSets::analyze(black_box(&a), Sweep::Forward))
+    });
+    g.bench_function("partition_by_nnz_64", |b| {
+        b.iter(|| Partition::balanced_by_nnz(black_box(&a), 64))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_ilu_factorise, bench_analyses);
+criterion_main!(benches);

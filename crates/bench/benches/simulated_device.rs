@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the *simulation itself*: how long the host
+//! takes to symbolically execute, compile and run device programs. These
+//! guard the wall-time of the fig5–fig10 harnesses, not device cycles.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsl::prelude::*;
+use graphene_bench::measure_spmv;
+use graphene_core::config::SolverConfig;
+use graphene_core::runner::{solve, SolveOptions};
+use sparse::gen::{poisson_2d_5pt, poisson_3d_7pt, rhs_for_ones, Grid3};
+
+fn bench_spmv_simulation(c: &mut Criterion) {
+    let grid = Grid3 { nx: 16, ny: 16, nz: 16 };
+    let a = Rc::new(poisson_3d_7pt(16, 16, 16));
+    c.bench_function("simulate_spmv_16cubed_64tiles", |b| {
+        b.iter(|| measure_spmv(a.clone(), &IpuModel::tiny(64), Some(grid), true))
+    });
+}
+
+fn bench_solver_simulation(c: &mut Criterion) {
+    let a = Rc::new(poisson_2d_5pt(16, 16, 1.0));
+    let b_vec = rhs_for_ones(&a);
+    let cfg = SolverConfig::BiCgStab {
+        max_iters: 30,
+        rel_tol: 1e-5,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    let opts = SolveOptions {
+        model: IpuModel::tiny(8),
+        tiles: Some(8),
+        record_history: false,
+        ..SolveOptions::default()
+    };
+    c.bench_function("simulate_bicgstab_ilu_16x16_8tiles", |b| {
+        b.iter(|| solve(a.clone(), &b_vec, &cfg, &opts))
+    });
+}
+
+fn bench_symbolic_execution(c: &mut Criterion) {
+    // Graph construction + compilation only (the paper's compile-time
+    // concern, §III-C).
+    c.bench_function("symbolic_exec_fused_expression_64tiles", |b| {
+        b.iter(|| {
+            let mut ctx = DslCtx::new(IpuModel::tiny(64));
+            let x = ctx.vector("x", DType::F32, 6400, 64);
+            let y = ctx.vector("y", DType::F32, 6400, 64);
+            let _z = ctx.materialize((x * 2.0f32 + y) / (x + 1.0f32));
+            ctx.build_engine().unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmv_simulation, bench_solver_simulation, bench_symbolic_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! **Figure 10** — convergence of PBiCGStab+ILU(0) on af_shell7 under the
+//! same four refinement configurations as Figure 9.
+
+use graphene_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("--scale", 0.008);
+    graphene_bench::convergence_figure(
+        "Fig 10",
+        "af_shell7",
+        scale,
+        args.get("--inner", 100.0) as u32,
+    );
+}

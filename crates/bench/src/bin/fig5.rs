@@ -1,0 +1,55 @@
+//! **Figure 5** — strong scaling of SpMV.
+//!
+//! The paper: a 7-point Poisson matrix with ~58 M entries (200³ grid),
+//! executed on 1–16 IPUs; near-ideal speedup, with the halo exchange
+//! causing the only deviation as the surface-to-volume ratio grows.
+//!
+//! Default here: a 96³ grid (≈6.2 M entries); pass `--scale 1` to grow
+//! toward paper scale (wall-time of the simulation grows linearly).
+//!
+//! Output: one row per IPU count — total time, compute-only time, and the
+//! speedups relative to one IPU (the paper's blue and orange series).
+
+use std::rc::Rc;
+
+use graphene_bench::{header, ipu_friendly_grid, measure_spmv, Args};
+use ipu_sim::model::IpuModel;
+use sparse::gen::poisson_3d_7pt;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("--scale", 0.35);
+    // Paper grid: 200³. Scale the cell count, keeping sides divisible by
+    // the tile-box factorisations so the decomposition is perfectly
+    // balanced (as the paper does).
+    let grid = ipu_friendly_grid((200f64.powi(3) * scale) as usize);
+    let a = Rc::new(poisson_3d_7pt(grid.nx, grid.ny, grid.nz));
+    header(&format!(
+        "Fig 5: strong scaling of SpMV, poisson {}x{}x{} ({} rows, {} nnz)",
+        grid.nx,
+        grid.ny,
+        grid.nz,
+        a.nrows,
+        a.nnz()
+    ));
+    println!("ipus\ttotal_us\tcompute_us\tspeedup\tspeedup_compute\tideal");
+
+    let mut base_total = None;
+    let mut base_compute = None;
+    for ipus in [1usize, 2, 4, 8, 16] {
+        let model = IpuModel::with_ipus(ipus);
+        let m = measure_spmv(a.clone(), &model, Some(grid), true);
+        let total_s = model.cycles_to_seconds(m.total_cycles);
+        let compute_s = model.cycles_to_seconds(m.compute_cycles);
+        let bt = *base_total.get_or_insert(total_s);
+        let bc = *base_compute.get_or_insert(compute_s);
+        println!(
+            "{ipus}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}",
+            total_s * 1e6,
+            compute_s * 1e6,
+            bt / total_s,
+            bc / compute_s,
+            ipus
+        );
+    }
+}

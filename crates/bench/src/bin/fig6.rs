@@ -1,0 +1,56 @@
+//! **Figure 6** — weak scaling of SpMV.
+//!
+//! The paper: Poisson matrices from 58 M to 890 M entries, constant rows
+//! per tile, 1–16 IPUs; ideal weak scaling, with the halo-exchange time
+//! *constant* thanks to the all-to-all fabric ("while the total
+//! communication volume increases linearly with the number of IPUs, the
+//! time required for halo exchange remains constant").
+//!
+//! Each tile always owns the same cubic box of the grid: the grid is the
+//! box tiled by the per-IPU-count factorisation (23·2^a·2^b boxes), so
+//! rows/tile is exactly constant across the sweep.
+//!
+//! Output: per IPU count — rows, rows/tile, total/compute/exchange/sync
+//! time, and weak-scaling efficiency (t₁/tₙ).
+
+use std::rc::Rc;
+
+use graphene_bench::{header, measure_spmv_with_partition, Args};
+use ipu_sim::model::IpuModel;
+use sparse::gen::{poisson_3d_7pt, Grid3};
+use sparse::partition::Partition;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("--scale", 0.05);
+    // Paper: ~5435 rows per tile throughout. Use a cubic box per tile.
+    let side = ((5435.0 * scale).cbrt().round().max(2.0)) as usize;
+    let rows_per_tile = side * side * side;
+    header(&format!(
+        "Fig 6: weak scaling of SpMV, poisson, {side}^3 = {rows_per_tile} rows/tile"
+    ));
+    println!("ipus\trows\trows_per_tile\ttotal_us\tcompute_us\texchange_us\tsync_us\tefficiency");
+
+    // 1472·n tiles factor as 23 × py × pz.
+    let factorisations: [(usize, usize, usize); 5] =
+        [(1, 8, 8), (2, 16, 8), (4, 16, 16), (8, 32, 16), (16, 32, 32)];
+    let mut base_total = None;
+    for (ipus, py, pz) in factorisations {
+        let model = IpuModel::with_ipus(ipus);
+        let grid = Grid3 { nx: 23 * side, ny: py * side, nz: pz * side };
+        assert_eq!(grid.num_cells(), model.num_tiles() * rows_per_tile);
+        let a = Rc::new(poisson_3d_7pt(grid.nx, grid.ny, grid.nz));
+        let part = Partition::grid_3d(grid, 23, py, pz);
+        let m = measure_spmv_with_partition(a.clone(), &model, part, true);
+        let total = model.cycles_to_seconds(m.total_cycles) * 1e6;
+        let compute = model.cycles_to_seconds(m.compute_cycles) * 1e6;
+        let exchange = model.cycles_to_seconds(m.exchange_cycles) * 1e6;
+        let sync = model.cycles_to_seconds(m.sync_cycles) * 1e6;
+        let bt = *base_total.get_or_insert(total);
+        println!(
+            "{ipus}\t{}\t{rows_per_tile}\t{total:.2}\t{compute:.2}\t{exchange:.2}\t{sync:.2}\t{:.3}",
+            a.nrows,
+            bt / total
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! **Figure 7** — SpMV execution times on IPU / CPU / GPU.
+//!
+//! The paper compares one GraphCore M2000 (4 IPUs, 5,888 tiles) against an
+//! Intel Xeon 8470Q (HYPRE, MPI) and an NVIDIA H100 (cuSPARSE), on four
+//! SuiteSparse matrices, reporting IPU speedups of 13–19x over the GPU and
+//! 55–150x over the CPU.
+//!
+//! Substitutions here (see DESIGN.md §1): synthetic SuiteSparse analogues
+//! at `--scale` of the paper's row counts; IPU time from the cycle model;
+//! CPU time measured on *this* host (rayon-parallel f64, warm-cache
+//! methodology); GPU time from the H100 roofline model.
+
+use std::rc::Rc;
+
+use baselines::cpu::{spmv_par, time_op};
+use baselines::gpu::GpuModel;
+use graphene_bench::{header, measure_spmv, Args};
+use ipu_sim::model::IpuModel;
+use sparse::gen::suitesparse::{by_name, PAPER_MATRICES};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("--scale", 0.05);
+    let reps = args.get("--reps", 20.0) as usize;
+    header(&format!("Fig 7: SpMV execution times, matrices at scale {scale}"));
+    println!(
+        "matrix\trows\tnnz\tipu_us\tcpu_us\tgpu_us\tipu_vs_cpu\tipu_vs_gpu\tipu_uj\tcpu_uj\tgpu_uj"
+    );
+
+    let model = IpuModel::m2000();
+    let gpu = GpuModel::h100();
+    for info in PAPER_MATRICES {
+        let a = Rc::new(by_name(info.name, scale));
+        // IPU: deterministic cycle model.
+        let m = measure_spmv(a.clone(), &model, None, true);
+        let ipu = model.cycles_to_seconds(m.total_cycles);
+        // CPU: wall time on this host, warm-cache methodology (§VI-A,
+        // scaled-down repetition counts).
+        let x: Vec<f64> = (0..a.nrows).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y = vec![0.0; a.nrows];
+        let cpu = time_op(|| spmv_par(&a, &x, &mut y), reps / 2, reps);
+        // GPU: roofline model.
+        let g = gpu.spmv_time(&a);
+        use graphene_bench::power;
+        println!(
+            "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            info.name,
+            a.nrows,
+            a.nnz(),
+            ipu * 1e6,
+            cpu * 1e6,
+            g * 1e6,
+            cpu / ipu,
+            g / ipu,
+            power::mj(ipu, power::IPU_M2000_W) * 1e3,
+            power::mj(cpu, power::CPU_XEON_W) * 1e3,
+            power::mj(g, power::GPU_H100_W) * 1e3,
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! **Table I** — cycle counts of the three floating-point families.
+//!
+//! Prints the cost model's per-operation cycles (which *are* the paper's
+//! Table I values for the arithmetic rows) and then verifies them by
+//! measuring a microbench codelet of N back-to-back operations through the
+//! interpreter, per type.
+
+use dsl::prelude::*;
+use graphene_bench::header;
+use ipu_sim::cost::{CostModel, Op};
+
+fn measured_cycles(dtype: DType, op: &str, n: i32) -> f64 {
+    // A codelet performing n dependent ops on values of `dtype`, in a
+    // length-2 tensor on one tile; cycles divided by n after subtracting
+    // the same codelet with 0 ops.
+    let run = |ops: i32| -> u64 {
+        let mut ctx = DslCtx::new(IpuModel::tiny(1));
+        let x = ctx.vector("x", dtype, 2, 1);
+        let mut cb = CodeDsl::new("micro");
+        let p = cb.param(dtype, true);
+        let acc = cb.var(p.at(Val::i32(0)));
+        let o = cb.let_(p.at(Val::i32(1)));
+        for _ in 0..ops {
+            match op {
+                "add" => cb.assign(acc, acc.get() + o.clone()),
+                "mul" => cb.assign(acc, acc.get() * o.clone()),
+                "div" => cb.assign(acc, acc.get() / o.clone()),
+                other => panic!("unknown op {other}"),
+            }
+        }
+        cb.store(p, Val::i32(0), acc.get());
+        let codelet = ctx.add_codelet(cb.build());
+        let chunks = ctx.chunks_of(x).to_vec();
+        ctx.execute(
+            "micro",
+            vec![Vertex {
+                tile: 0,
+                codelet,
+                operands: vec![TensorSlice { tensor: x.id, start: chunks[0].start, len: 2 }],
+                kind: VertexKind::Simple,
+            }],
+        );
+        let mut e = ctx.build_engine().unwrap();
+        e.write_tensor(x.id, &[1.25, 1.0000001]);
+        e.run();
+        e.stats().device_cycles()
+    };
+    let n0 = run(0);
+    let nn = run(n);
+    (nn - n0) as f64 / n as f64
+}
+
+fn main() {
+    header("Table I: floating-point families on the simulated IPU");
+    let cm = CostModel::default();
+    println!("row\tsingle_precision\tdouble_word\tdouble_precision(emulated)");
+    println!("algorithm\tnative\tJoldes et al.\tcompiler-rt (emulated)");
+    println!("decimal digits\t7.2\t13.3-14.0\t16.0");
+    println!("range\t1e-38..1e38\t1e-38..1e38\t1e-308..1e308");
+    for (name, op) in [("addition", Op::Add), ("multiplication", Op::Mul), ("division", Op::Div)]
+    {
+        println!(
+            "{name} (model)\t{}\t{}\t{}",
+            cm.op_cycles(op, DType::F32),
+            cm.op_cycles(op, DType::DoubleWord),
+            cm.op_cycles(op, DType::F64Emulated)
+        );
+    }
+    println!("#");
+    println!("# measured through the codelet interpreter (100 chained ops):");
+    for (name, op) in [("addition", "add"), ("multiplication", "mul"), ("division", "div")] {
+        println!(
+            "{name} (measured)\t{:.0}\t{:.0}\t{:.0}",
+            measured_cycles(DType::F32, op, 100),
+            measured_cycles(DType::DoubleWord, op, 100),
+            measured_cycles(DType::F64Emulated, op, 100)
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared infrastructure for the evaluation binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md §3 for the index). All accept `--scale <f>` to grow problem
+//! sizes toward paper scale and print tab-separated series suitable for
+//! plotting.
+
+use std::rc::Rc;
+
+use dsl::prelude::*;
+use graphene_core::dist::DistSystem;
+use ipu_sim::clock::Phase;
+use sparse::formats::CsrMatrix;
+use sparse::gen::Grid3;
+use sparse::partition::Partition;
+
+/// Minimal CLI parsing: `--scale 0.05 --ipus 4 ...` (flags of f64).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        Args { raw: std::env::args().collect() }
+    }
+
+    pub fn get(&self, flag: &str, default: f64) -> f64 {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+}
+
+/// Outcome of one simulated SpMV measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SpmvMeasurement {
+    pub total_cycles: u64,
+    pub compute_cycles: u64,
+    pub exchange_cycles: u64,
+    pub sync_cycles: u64,
+    pub seconds: f64,
+    pub halo_elements: usize,
+    pub block_copies: usize,
+}
+
+/// Run one SpMV on the simulated machine and report its cycle profile.
+///
+/// `partition` defaults to a geometric box decomposition when `grid` is
+/// given (the paper's mesh subdivision), else nnz-balanced row blocks.
+pub fn measure_spmv(
+    a: Rc<CsrMatrix>,
+    model: &IpuModel,
+    grid: Option<Grid3>,
+    with_exchange: bool,
+) -> SpmvMeasurement {
+    let tiles = model.num_tiles().min(a.nrows);
+    let part = match grid {
+        Some(g) if g.num_cells() == a.nrows => Partition::grid_3d_auto(g, tiles),
+        _ => Partition::balanced_by_nnz(&a, tiles),
+    };
+    measure_spmv_with_partition(a, model, part, with_exchange)
+}
+
+/// [`measure_spmv`] with an explicit partition.
+pub fn measure_spmv_with_partition(
+    a: Rc<CsrMatrix>,
+    model: &IpuModel,
+    part: Partition,
+    with_exchange: bool,
+) -> SpmvMeasurement {
+    let mut ctx = DslCtx::new(model.clone());
+    let sys = DistSystem::build(&mut ctx, a, part);
+    let x = sys.new_vector(&mut ctx, "x", DType::F32);
+    let y = sys.new_vector(&mut ctx, "y", DType::F32);
+    if with_exchange {
+        sys.spmv(&mut ctx, y, x);
+    } else {
+        sys.spmv_no_exchange(&mut ctx, y, x);
+    }
+    let halo_elements = sys.halo_volume();
+    let block_copies = sys.halo.num_block_copies();
+    let mut engine = ctx.build_engine().expect("spmv program compiles");
+    sys.upload(&mut engine);
+    engine.run();
+    let stats = engine.stats();
+    SpmvMeasurement {
+        total_cycles: stats.device_cycles(),
+        compute_cycles: stats.phase_cycles(Phase::Compute),
+        exchange_cycles: stats.phase_cycles(Phase::Exchange),
+        sync_cycles: stats.phase_cycles(Phase::Sync),
+        seconds: engine.elapsed_seconds(),
+        halo_elements,
+        block_copies,
+    }
+}
+
+/// Pick a cubic grid whose cell count is close to `target_rows`.
+pub fn cubic_grid(target_rows: usize) -> Grid3 {
+    let side = (target_rows as f64).cbrt().round().max(4.0) as usize;
+    Grid3 { nx: side, ny: side, nz: side }
+}
+
+/// Pick a grid close to `target_rows` whose sides divide evenly into the
+/// box decompositions of 1–16 Mk2 IPUs (tile counts 1472·n = 23·2^k boxes,
+/// factored as 23·2^i × 2^j × 2^l). The paper does the same: grid sizes
+/// are adjusted "to ensure each tile processed the same number of rows",
+/// making load imbalance zero and leaving the halo exchange as the only
+/// deviation from ideal scaling.
+pub fn ipu_friendly_grid(target_rows: usize) -> Grid3 {
+    let s = (target_rows as f64).cbrt();
+    let nx = 23 * ((s / 23.0).round().max(1.0) as usize);
+    let ny = 32 * ((s / 32.0).round().max(1.0) as usize);
+    let nz = ny;
+    Grid3 { nx, ny, nz }
+}
+
+/// Pretty separator line for the binaries.
+pub fn header(title: &str) {
+    println!("# {title}");
+}
+
+/// Power draws used for the paper's energy comparison (Table III):
+/// measured IPU power (420 W for four Mk2s on an M2000), CPU TDP (350 W),
+/// GPU TDP (700 W).
+pub mod power {
+    pub const IPU_M2000_W: f64 = 420.0;
+    pub const CPU_XEON_W: f64 = 350.0;
+    pub const GPU_H100_W: f64 = 700.0;
+
+    /// Energy in millijoules for a duration at a power draw.
+    pub fn mj(seconds: f64, watts: f64) -> f64 {
+        seconds * watts * 1e3
+    }
+}
+
+/// The shared driver of Figures 9 and 10: convergence of
+/// PBiCGStab+ILU(0) on one benchmark matrix under the four refinement
+/// configurations the paper compares.
+pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32) {
+    use graphene_core::config::SolverConfig;
+    use graphene_core::runner::{solve, SolveOptions};
+    use graphene_core::solvers::ExtendedPrecision;
+
+    let a = Rc::new(sparse::gen::suitesparse::by_name(matrix, scale));
+    let b = sparse::gen::random_vector(a.nrows, 9);
+    header(&format!(
+        "{fig}: convergence of PBiCGStab+ILU(0) on {matrix} analogue \
+         ({} rows, {} nnz), {inner_iters} iterations per IR step",
+        a.nrows,
+        a.nnz()
+    ));
+
+    let total_iters = 6 * inner_iters;
+    let configs: [(&str, SolverConfig); 4] = [
+        (
+            "no_ir",
+            SolverConfig::BiCgStab {
+                max_iters: total_iters,
+                rel_tol: 1e-20,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            },
+        ),
+        ("ir", mpir_cfg(ExtendedPrecision::Working, inner_iters)),
+        ("mpir_dw", mpir_cfg(ExtendedPrecision::DoubleWord, inner_iters)),
+        ("mpir_dp", mpir_cfg(ExtendedPrecision::EmulatedF64, inner_iters)),
+    ];
+
+    let opts = SolveOptions {
+        model: IpuModel::m2000(),
+        tiles: None,
+        rows_per_tile: 32,
+        record_history: true,
+        partition: None,
+    };
+    for (name, cfg) in configs {
+        let res = solve(a.clone(), &b, &cfg, &opts);
+        println!("## config {name}: final residual {:.3e}", res.residual);
+        println!("config\titer\trel_residual");
+        for (it, r) in &res.history {
+            println!("{name}\t{it}\t{r:.6e}");
+        }
+    }
+}
+
+fn mpir_cfg(
+    precision: graphene_core::solvers::ExtendedPrecision,
+    inner_iters: u32,
+) -> graphene_core::config::SolverConfig {
+    use graphene_core::config::SolverConfig;
+    SolverConfig::Mpir {
+        inner: Box::new(SolverConfig::BiCgStab {
+            max_iters: inner_iters,
+            rel_tol: 0.0,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        }),
+        precision,
+        max_outer: 6,
+        rel_tol: 1e-20,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::poisson_3d_7pt;
+
+    #[test]
+    fn measure_spmv_is_deterministic() {
+        let g = Grid3 { nx: 8, ny: 8, nz: 8 };
+        let a = Rc::new(poisson_3d_7pt(8, 8, 8));
+        let m1 = measure_spmv(a.clone(), &IpuModel::tiny(8), Some(g), true);
+        let m2 = measure_spmv(a, &IpuModel::tiny(8), Some(g), true);
+        assert_eq!(m1.total_cycles, m2.total_cycles);
+        assert!(m1.exchange_cycles > 0);
+        assert!(m1.compute_cycles > 0);
+    }
+
+    #[test]
+    fn no_exchange_variant_is_cheaper() {
+        let g = Grid3 { nx: 8, ny: 8, nz: 8 };
+        let a = Rc::new(poisson_3d_7pt(8, 8, 8));
+        let with = measure_spmv(a.clone(), &IpuModel::tiny(8), Some(g), true);
+        let without = measure_spmv(a, &IpuModel::tiny(8), Some(g), false);
+        assert!(without.total_cycles < with.total_cycles);
+        assert_eq!(without.exchange_cycles, 0);
+    }
+
+    #[test]
+    fn cubic_grid_near_target() {
+        let g = cubic_grid(1000);
+        assert_eq!((g.nx, g.ny, g.nz), (10, 10, 10));
+    }
+}

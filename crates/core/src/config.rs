@@ -1,0 +1,192 @@
+//! JSON solver configuration (paper §V).
+//!
+//! "The solver hierarchy and associated parameters are easily configured
+//! through a JSON file" — a configuration is a recursive tree: any solver
+//! can be the preconditioner of any other.
+//!
+//! ```json
+//! {
+//!   "type": "mpir",
+//!   "precision": "double_word",
+//!   "max_outer": 20,
+//!   "rel_tol": 1e-13,
+//!   "inner": {
+//!     "type": "bi_cg_stab",
+//!     "max_iters": 100,
+//!     "rel_tol": 0.0,
+//!     "precond": { "type": "ilu0" }
+//!   }
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::solvers::ExtendedPrecision;
+
+/// A recursive solver/preconditioner configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum SolverConfig {
+    /// `M = I`.
+    Identity,
+    /// Damped Jacobi: `sweeps` applications of `x += ω D⁻¹ (b − A x)`.
+    Jacobi {
+        sweeps: u32,
+        #[serde(default = "default_omega")]
+        omega: f32,
+    },
+    /// Level-set scheduled Gauss-Seidel sweeps. With `rel_tol > 0` it is
+    /// a standalone solver that stops once ‖b − A x‖ ≤ rel_tol·‖b‖.
+    GaussSeidel {
+        sweeps: u32,
+        #[serde(default)]
+        symmetric: bool,
+        #[serde(default)]
+        rel_tol: f32,
+    },
+    /// Chebyshev polynomial smoother of the given degree on the interval
+    /// [λmax/eig_ratio, λmax] (λmax estimated at setup).
+    Chebyshev {
+        degree: u32,
+        #[serde(default = "default_eig_ratio")]
+        eig_ratio: f64,
+    },
+    /// ILU(0) factorisation + substitution.
+    Ilu0 {},
+    /// Diagonal-based incomplete LU.
+    Dilu {},
+    /// Preconditioned Conjugate Gradient (SPD systems). `rel_tol = 0`
+    /// runs exactly `max_iters` iterations.
+    Cg {
+        max_iters: u32,
+        #[serde(default)]
+        rel_tol: f32,
+        #[serde(default)]
+        precond: Option<Box<SolverConfig>>,
+    },
+    /// Preconditioned BiCGStab. `rel_tol = 0` runs exactly `max_iters`
+    /// iterations.
+    BiCgStab {
+        max_iters: u32,
+        #[serde(default)]
+        rel_tol: f32,
+        #[serde(default)]
+        precond: Option<Box<SolverConfig>>,
+    },
+    /// Mixed-precision iterative refinement around an inner solver.
+    Mpir {
+        inner: Box<SolverConfig>,
+        precision: ExtendedPrecision,
+        max_outer: u32,
+        #[serde(default)]
+        rel_tol: f64,
+    },
+}
+
+fn default_omega() -> f32 {
+    2.0 / 3.0
+}
+
+fn default_eig_ratio() -> f64 {
+    30.0
+}
+
+impl SolverConfig {
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<SolverConfig, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("solver config serialises")
+    }
+
+    /// The paper's flagship configuration:
+    /// MPIR(double-word) { PBiCGStab(inner_iters) { ILU(0) } }.
+    pub fn paper_default(inner_iters: u32, max_outer: u32, rel_tol: f64) -> SolverConfig {
+        SolverConfig::Mpir {
+            inner: Box::new(SolverConfig::BiCgStab {
+                max_iters: inner_iters,
+                rel_tol: 0.0,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            }),
+            precision: ExtendedPrecision::DoubleWord,
+            max_outer,
+            rel_tol,
+        }
+    }
+
+    /// Depth of the nesting tree (1 for a leaf solver).
+    pub fn depth(&self) -> usize {
+        match self {
+            SolverConfig::BiCgStab { precond: Some(p), .. }
+            | SolverConfig::Cg { precond: Some(p), .. } => 1 + p.depth(),
+            SolverConfig::Mpir { inner, .. } => 1 + inner.depth(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = SolverConfig::paper_default(100, 20, 1e-13);
+        let json = cfg.to_json();
+        let back = SolverConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(cfg.depth(), 3);
+    }
+
+    #[test]
+    fn parse_handwritten_json() {
+        let json = r#"{
+            "type": "bi_cg_stab",
+            "max_iters": 500,
+            "rel_tol": 1e-6,
+            "precond": { "type": "gauss_seidel", "sweeps": 2 }
+        }"#;
+        let cfg = SolverConfig::from_json(json).unwrap();
+        match cfg {
+            SolverConfig::BiCgStab { max_iters, rel_tol, precond } => {
+                assert_eq!(max_iters, 500);
+                assert!((rel_tol - 1e-6).abs() < 1e-12);
+                assert_eq!(
+                    *precond.unwrap(),
+                    SolverConfig::GaussSeidel { sweeps: 2, symmetric: false, rel_tol: 0.0 }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cfg = SolverConfig::from_json(r#"{"type":"jacobi","sweeps":3}"#).unwrap();
+        assert_eq!(cfg, SolverConfig::Jacobi { sweeps: 3, omega: 2.0 / 3.0 });
+        let cfg = SolverConfig::from_json(r#"{"type":"bi_cg_stab","max_iters":10}"#).unwrap();
+        assert_eq!(cfg, SolverConfig::BiCgStab { max_iters: 10, rel_tol: 0.0, precond: None });
+    }
+
+    #[test]
+    fn precision_names() {
+        let json = r#"{
+            "type": "mpir", "precision": "emulated_f64", "max_outer": 5,
+            "inner": {"type": "identity"}
+        }"#;
+        match SolverConfig::from_json(json).unwrap() {
+            SolverConfig::Mpir { precision, .. } => {
+                assert_eq!(precision, ExtendedPrecision::EmulatedF64)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(SolverConfig::from_json(r#"{"type":"amg"}"#).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # graphene-core — the solver framework
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//! a suite of nested, preconditioned sparse linear solvers expressed in
+//! TensorDSL/CodeDSL and executed on the cycle-modelled IPU.
+//!
+//! * [`dist`] — the distributed system: modified-CSR matrix on tiles,
+//!   distributed vectors with halo slots, blockwise halo exchange, SpMV
+//!   and extended-precision residual kernels.
+//! * [`solvers`] — PBiCGStab (§V-C), Gauss-Seidel (§V-D), ILU(0)/DILU
+//!   (§V-E), Jacobi, identity, and Mixed-Precision Iterative Refinement
+//!   (§V-B) with double-word or emulated-double extended precision. Any
+//!   solver nests as a preconditioner of any other.
+//! * [`config`] — the JSON solver-hierarchy configuration (§V).
+//! * [`runner`] — the one-call host API: partition a matrix, build the
+//!   program, run it, return the solution with cycle statistics and
+//!   residual history.
+
+pub mod config;
+pub mod dist;
+pub mod runner;
+pub mod solvers;
+
+pub use config::SolverConfig;
+pub use dist::DistSystem;
+pub use runner::{solve, SolveOptions, SolveResult};
+pub use solvers::{solver_from_config, Solver};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::config::SolverConfig;
+    pub use crate::dist::DistSystem;
+    pub use crate::runner::{solve, SolveOptions, SolveResult};
+    pub use crate::solvers::{solver_from_config, Solver};
+}

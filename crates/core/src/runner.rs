@@ -1,0 +1,348 @@
+//! The one-call host API.
+//!
+//! [`solve`] performs the full pipeline of the paper's Figure 2: partition
+//! the matrix, build the distributed system, symbolically execute the
+//! configured solver into a graph program, compile, upload, run on the
+//! simulated device, and gather results and profiling data back.
+
+use std::rc::Rc;
+
+use dsl::prelude::*;
+use ipu_sim::clock::CycleStats;
+use sparse::formats::CsrMatrix;
+use sparse::partition::Partition;
+
+use crate::config::SolverConfig;
+use crate::dist::DistSystem;
+use crate::solvers::{solver_from_config, BiCgStab, Cg, Monitor, Mpir};
+
+/// Options controlling partitioning, machine size and instrumentation.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// The machine to simulate.
+    pub model: IpuModel,
+    /// Tiles to use (`None`: one tile per ~`rows_per_tile` rows, capped by
+    /// the machine).
+    pub tiles: Option<usize>,
+    /// Target rows per tile when `tiles` is `None`.
+    pub rows_per_tile: usize,
+    /// Record the true relative residual after every solver iteration
+    /// (host callbacks; free in device time, costly in wall time).
+    pub record_history: bool,
+    /// Optional geometric partition (for structured-grid problems);
+    /// falls back to nnz-balanced contiguous blocks.
+    pub partition: Option<Partition>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            model: IpuModel::mk2(),
+            tiles: None,
+            rows_per_tile: 64,
+            record_history: true,
+            partition: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    fn pick_tiles(&self, rows: usize) -> usize {
+        let by_rows = rows.div_ceil(self.rows_per_tile).max(1);
+        self.tiles.unwrap_or(by_rows).min(self.model.num_tiles()).min(rows)
+    }
+}
+
+/// The outcome of a solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The solution in global row order (extended precision when MPIR ran).
+    pub x: Vec<f64>,
+    /// True relative residual ‖b−Ax‖/‖b‖ of the returned solution (f64).
+    pub residual: f64,
+    /// (iteration, true relative residual) samples, if recorded.
+    pub history: Vec<(usize, f64)>,
+    /// Inner iterations executed.
+    pub iterations: usize,
+    /// Device profile.
+    pub stats: CycleStats,
+    /// Device time in seconds at the machine's clock.
+    pub seconds: f64,
+}
+
+/// Solve `A x = b` with the configured solver hierarchy on the simulated
+/// IPU. `x0` is the initial guess (zeros if `None`).
+pub fn solve(
+    a: Rc<CsrMatrix>,
+    b: &[f64],
+    config: &SolverConfig,
+    opts: &SolveOptions,
+) -> SolveResult {
+    assert_eq!(a.nrows, b.len());
+    let tiles = opts.pick_tiles(a.nrows);
+    let part = match &opts.partition {
+        Some(p) => {
+            assert_eq!(p.num_rows(), a.nrows, "partition size mismatch");
+            p.clone()
+        }
+        None => Partition::balanced_by_nnz(&a, tiles),
+    };
+
+    let mut ctx = DslCtx::new(opts.model.clone());
+    let sys = DistSystem::build(&mut ctx, a.clone(), part);
+    let bt = sys.new_vector(&mut ctx, "b", DType::F32);
+    let xt = sys.new_vector(&mut ctx, "x", DType::F32);
+
+    let b_rc = Rc::new(b.to_vec());
+    let monitor = Monitor::new(&sys, b_rc.clone());
+
+    let mut solver = solver_from_config(config);
+    if opts.record_history {
+        if let Some(s) = solver.as_any().downcast_mut::<BiCgStab>() {
+            s.monitor = Some(monitor.clone());
+        } else if let Some(s) = solver.as_any().downcast_mut::<Cg>() {
+            s.monitor = Some(monitor.clone());
+        } else if let Some(s) = solver.as_any().downcast_mut::<Mpir>() {
+            s.monitor = Some(monitor.clone());
+        }
+    }
+    solver.setup(&mut ctx, &sys);
+    solver.solve(&mut ctx, &sys, bt, xt);
+
+    // If MPIR ran, read the extended-precision solution tensor instead of
+    // the rounded f32 output.
+    let x_ext = solver.as_any().downcast_mut::<Mpir>().and_then(|m| m.x_ext);
+
+    let mut engine = ctx.build_engine().expect("solver program compiles");
+    sys.upload(&mut engine);
+    engine.write_tensor(bt.id, &sys.to_device_order(b));
+    engine.run();
+
+    let raw = engine.read_tensor(x_ext.map(|t| t.id).unwrap_or(xt.id));
+    let x = sys.from_device_order(&raw);
+    // Residual against the system as the device sees it (f32-rounded data,
+    // f64 arithmetic) — see `Monitor` for why.
+    let ax = monitor.a.spmv_alloc(&x);
+    let r2: f64 =
+        monitor.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
+    let b2: f64 = monitor.b.iter().map(|v| v * v).sum();
+    let residual = (r2 / b2.max(f64::MIN_POSITIVE)).sqrt();
+
+    SolveResult {
+        x,
+        residual,
+        history: monitor.take_history(),
+        iterations: monitor.iterations(),
+        stats: engine.stats().clone(),
+        seconds: engine.elapsed_seconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{poisson_2d_5pt, poisson_3d_7pt, rhs_for_ones, tridiagonal};
+
+    fn opts(tiles: usize) -> SolveOptions {
+        SolveOptions {
+            model: IpuModel::tiny(tiles),
+            tiles: Some(tiles),
+            ..SolveOptions::default()
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_small_poisson() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 200, rel_tol: 1e-6, precond: None };
+        let res = solve(a, &b, &cfg, &opts(4));
+        assert!(res.residual < 2e-6, "residual {}", res.residual);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-3, "x = {v}");
+        }
+        assert!(res.iterations > 0);
+        assert!(res.stats.device_cycles() > 0);
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::Cg { max_iters: 200, rel_tol: 1e-6, precond: None };
+        let res = solve(a, &b, &cfg, &opts(4));
+        assert!(res.residual < 2e-6, "residual {}", res.residual);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-3, "x = {v}");
+        }
+    }
+
+    #[test]
+    fn pcg_with_ilu_converges_faster_than_plain_cg() {
+        let a = Rc::new(poisson_2d_5pt(14, 14, 1.0));
+        let b = rhs_for_ones(&a);
+        let plain = SolverConfig::Cg { max_iters: 500, rel_tol: 1e-6, precond: None };
+        let pre = SolverConfig::Cg {
+            max_iters: 500,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let r1 = solve(a.clone(), &b, &plain, &opts(2));
+        let r2 = solve(a, &b, &pre, &opts(2));
+        assert!(r2.residual < 2e-6);
+        assert!(r2.iterations < r1.iterations, "{} vs {}", r2.iterations, r1.iterations);
+    }
+
+    #[test]
+    fn mpir_over_cg_reaches_extended_precision() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::Mpir {
+            inner: Box::new(SolverConfig::Cg {
+                max_iters: 40,
+                rel_tol: 0.0,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            }),
+            precision: crate::solvers::ExtendedPrecision::DoubleWord,
+            max_outer: 8,
+            rel_tol: 1e-11,
+        };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert!(res.residual < 1e-10, "residual {}", res.residual);
+    }
+
+    #[test]
+    fn ilu_preconditioning_cuts_iterations() {
+        let a = Rc::new(poisson_2d_5pt(12, 12, 1.0));
+        let b = rhs_for_ones(&a);
+        let plain = SolverConfig::BiCgStab { max_iters: 400, rel_tol: 1e-6, precond: None };
+        let pre = SolverConfig::BiCgStab {
+            max_iters: 400,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let r1 = solve(a.clone(), &b, &plain, &opts(2));
+        let r2 = solve(a, &b, &pre, &opts(2));
+        assert!(r2.residual < 2e-6);
+        assert!(
+            r2.iterations < r1.iterations,
+            "ilu {} vs plain {}",
+            r2.iterations,
+            r1.iterations
+        );
+    }
+
+    #[test]
+    fn standalone_gauss_seidel_stops_at_tolerance() {
+        // GS as a standalone solver with a residual check per sweep.
+        let a = Rc::new(poisson_2d_5pt(6, 6, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg =
+            SolverConfig::GaussSeidel { sweeps: 500, symmetric: false, rel_tol: 1e-4 };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert!(res.residual < 1.5e-4, "residual {}", res.residual);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-2, "x = {v}");
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_preconditioner_works() {
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 200,
+            rel_tol: 1e-5,
+            precond: Some(Box::new(SolverConfig::GaussSeidel { sweeps: 2, symmetric: true, rel_tol: 0.0 })),
+        };
+        let res = solve(a, &b, &cfg, &opts(3));
+        assert!(res.residual < 1e-4, "residual {}", res.residual);
+    }
+
+    #[test]
+    fn jacobi_and_dilu_preconditioners_work() {
+        let a = Rc::new(poisson_3d_7pt(5, 5, 5));
+        let b = rhs_for_ones(&a);
+        for precond in [
+            SolverConfig::Jacobi { sweeps: 2, omega: 0.8 },
+            SolverConfig::Dilu {},
+            SolverConfig::Identity,
+        ] {
+            let cfg = SolverConfig::BiCgStab {
+                max_iters: 300,
+                rel_tol: 1e-5,
+                precond: Some(Box::new(precond.clone())),
+            };
+            let res = solve(a.clone(), &b, &cfg, &opts(4));
+            assert!(res.residual < 1e-4, "{precond:?}: residual {}", res.residual);
+        }
+    }
+
+    #[test]
+    fn mpir_double_word_beats_f32_floor() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        // Plain f32 BiCGStab stalls around 1e-6..1e-7 relative residual.
+        let plain = SolverConfig::BiCgStab { max_iters: 400, rel_tol: 1e-12, precond: None };
+        let rp = solve(a.clone(), &b, &plain, &opts(2));
+        // MPIR with double-word refinement pushes far below the f32 floor.
+        let mpir = SolverConfig::Mpir {
+            inner: Box::new(SolverConfig::BiCgStab {
+                max_iters: 40,
+                rel_tol: 0.0,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            }),
+            precision: crate::solvers::ExtendedPrecision::DoubleWord,
+            max_outer: 10,
+            rel_tol: 1e-11,
+        };
+        let rm = solve(a, &b, &mpir, &opts(2));
+        assert!(rm.residual < 1e-10, "mpir residual {}", rm.residual);
+        assert!(rm.residual < rp.residual / 100.0, "mpir {} vs plain {}", rm.residual, rp.residual);
+    }
+
+    #[test]
+    fn tridiagonal_exact_with_gs_solver_stack() {
+        // Fully sequential level structure still computes correctly.
+        let a = Rc::new(tridiagonal(40));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 100,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let res = solve(a, &b, &cfg, &opts(2));
+        // ILU(0) of a tridiagonal matrix is exact per block → immediate.
+        assert!(res.residual < 1e-6, "residual {}", res.residual);
+        assert!(res.iterations <= 10);
+    }
+
+    #[test]
+    fn history_is_monotone_ish_and_recorded() {
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 50, rel_tol: 1e-6, precond: None };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert!(!res.history.is_empty());
+        let first = res.history.first().unwrap().1;
+        let last = res.history.last().unwrap().1;
+        assert!(last < first, "no progress: {first} -> {last}");
+        // Iterations numbered 1..n.
+        assert_eq!(res.history[0].0, 1);
+    }
+
+    #[test]
+    fn solve_json_config_end_to_end() {
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::from_json(
+            r#"{
+                "type": "bi_cg_stab", "max_iters": 150, "rel_tol": 1e-6,
+                "precond": { "type": "ilu0" }
+            }"#,
+        )
+        .unwrap();
+        let res = solve(a, &b, &cfg, &opts(4));
+        assert!(res.residual < 2e-6);
+    }
+}

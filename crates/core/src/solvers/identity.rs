@@ -1,0 +1,34 @@
+//! The identity "preconditioner": `M = I`, i.e. `z = r`.
+//!
+//! Turns PBiCGStab into plain BiCGStab; the baseline of every
+//! preconditioning comparison.
+
+use dsl::prelude::*;
+
+use crate::dist::DistSystem;
+use crate::solvers::Solver;
+
+#[derive(Default)]
+pub struct Identity;
+
+impl Identity {
+    pub fn new() -> Identity {
+        Identity
+    }
+}
+
+impl Solver for Identity {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn setup(&mut self, _ctx: &mut DslCtx, _sys: &DistSystem) {}
+
+    fn solve(&mut self, ctx: &mut DslCtx, _sys: &DistSystem, b: TensorRef, x: TensorRef) {
+        ctx.copy(b, x);
+    }
+}

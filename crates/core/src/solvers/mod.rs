@@ -1,0 +1,179 @@
+//! The solver and preconditioner suite (paper §V).
+//!
+//! Every solver implements [`Solver`], emitting TensorDSL/CodeDSL program
+//! steps during symbolic execution. The key property of the paper's design
+//! is preserved: **any solver can serve as the preconditioner of any
+//! other**, so a configuration is a tree —
+//! e.g. `MPIR { BiCGStab { ILU(0) } }`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsl::prelude::*;
+use sparse::formats::CsrMatrix;
+
+use crate::dist::DistSystem;
+
+pub mod bicgstab;
+pub mod cg;
+pub mod chebyshev;
+pub mod gauss_seidel;
+pub mod identity;
+pub mod ilu;
+pub mod jacobi;
+pub mod mpir;
+pub mod multigrid;
+
+pub use bicgstab::BiCgStab;
+pub use cg::Cg;
+pub use chebyshev::Chebyshev;
+pub use gauss_seidel::GaussSeidel;
+pub use identity::Identity;
+pub use ilu::{Dilu, Ilu0};
+pub use jacobi::Jacobi;
+pub use mpir::{ExtendedPrecision, Mpir};
+pub use multigrid::TwoGrid;
+
+/// A solver/preconditioner that contributes program steps.
+///
+/// Contract: `setup` is invoked exactly once (before the parent's loop —
+/// factorisations and other reusable work go here); `solve` emits the steps
+/// that improve `x` toward `A x = b`. When used as a preconditioner the
+/// caller zeroes `x` first, so `solve` computes `x ≈ A⁻¹ b` from scratch;
+/// as an outer solver `x` carries the initial guess.
+pub trait Solver: std::any::Any {
+    fn name(&self) -> &'static str;
+
+    /// Runtime-typed access (used by MPIR to wire convergence monitors
+    /// into a nested BiCGStab).
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+
+    /// One-time setup: workspace allocation, ILU factorisation, nested
+    /// preconditioner setup.
+    fn setup(&mut self, ctx: &mut DslCtx, sys: &DistSystem);
+
+    /// Emit the solve program. `b` and `x` are distributed vectors in the
+    /// system's halo layout.
+    fn solve(&mut self, ctx: &mut DslCtx, sys: &DistSystem, b: TensorRef, x: TensorRef);
+}
+
+/// Records the *true* relative residual ‖b − A·x‖₂ / ‖b‖₂ in f64 on the
+/// host — the quantity plotted in the paper's Figures 9 and 10. Device
+/// solvers invoke it through host callbacks (§III-A: "we use CPU callbacks
+/// to inform the user about the solver's progress").
+///
+/// The residual is evaluated against the system **as the device sees it**:
+/// matrix values and right-hand side rounded to f32 (the device's working
+/// precision), with the arithmetic itself in f64. This matches the paper's
+/// setting — its solvers consume single-precision device data, and only
+/// the *solution* carries extended precision — and is what lets MPIR
+/// curves reach 1e-13..1e-15 instead of flooring at the f32 data-rounding
+/// level.
+#[derive(Clone)]
+pub struct Monitor {
+    pub a: Rc<CsrMatrix>,
+    pub b: Rc<Vec<f64>>,
+    /// device flat index of each global row's owned slot.
+    pub gather: Rc<Vec<usize>>,
+    /// (cumulative inner iteration, relative true residual).
+    pub history: Rc<RefCell<Vec<(usize, f64)>>>,
+    pub b_norm: f64,
+    counter: Rc<RefCell<usize>>,
+}
+
+impl Monitor {
+    pub fn new(sys: &DistSystem, b: Rc<Vec<f64>>) -> Monitor {
+        let mut gather = vec![0usize; sys.num_rows()];
+        for (t, layout) in sys.halo.layouts.iter().enumerate() {
+            let base = sys.vec_chunks[t].start;
+            for (local, &row) in layout.owned.iter().enumerate() {
+                gather[row] = base + local;
+            }
+        }
+        // The device system: values rounded to working precision.
+        let mut a32 = (*sys.a).clone();
+        for v in &mut a32.values {
+            *v = *v as f32 as f64;
+        }
+        let b32: Vec<f64> = b.iter().map(|&v| v as f32 as f64).collect();
+        let b_norm = b32.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        Monitor {
+            a: Rc::new(a32),
+            b: Rc::new(b32),
+            gather: Rc::new(gather),
+            history: Rc::new(RefCell::new(Vec::new())),
+            b_norm,
+            counter: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// Emit a callback recording the true residual of `x` (plus `shift`,
+    /// when `x` is a correction on top of an extended-precision base).
+    pub fn record(&self, ctx: &mut DslCtx, x: TensorRef, shift: Option<TensorRef>) {
+        let m = self.clone();
+        let xid = x.id;
+        let sid = shift.map(|s| s.id);
+        ctx.callback(move |view| {
+            let dev = view.read_f64(xid);
+            let base = sid.map(|s| view.read_f64(s));
+            let n = m.gather.len();
+            let mut xg = vec![0.0; n];
+            for (row, &slot) in m.gather.iter().enumerate() {
+                xg[row] = dev[slot] + base.as_ref().map_or(0.0, |b| b[slot]);
+            }
+            let ax = m.a.spmv_alloc(&xg);
+            let r2: f64 = m.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
+            let mut c = m.counter.borrow_mut();
+            *c += 1;
+            m.history.borrow_mut().push((*c, r2.sqrt() / m.b_norm));
+        });
+    }
+
+    /// The recorded history: (iteration, relative residual).
+    pub fn take_history(&self) -> Vec<(usize, f64)> {
+        self.history.borrow().clone()
+    }
+
+    /// Final relative residual, if any was recorded.
+    pub fn final_residual(&self) -> Option<f64> {
+        self.history.borrow().last().map(|&(_, r)| r)
+    }
+
+    /// Total recorded iterations.
+    pub fn iterations(&self) -> usize {
+        *self.counter.borrow()
+    }
+}
+
+/// Zero a distributed vector (owned elements).
+pub fn zero(ctx: &mut DslCtx, x: TensorRef) {
+    ctx.assign(x, dsl::TExpr::c_f32(0.0));
+}
+
+/// Build a solver tree from a configuration.
+pub fn solver_from_config(cfg: &crate::config::SolverConfig) -> Box<dyn Solver> {
+    use crate::config::SolverConfig as C;
+    match cfg {
+        C::Identity => Box::new(Identity::new()),
+        C::Jacobi { sweeps, omega } => Box::new(Jacobi::new(*sweeps, *omega)),
+        C::GaussSeidel { sweeps, symmetric, rel_tol } => Box::new(if *rel_tol > 0.0 {
+            GaussSeidel::with_tolerance(*sweeps, *rel_tol, *symmetric)
+        } else {
+            GaussSeidel::new(*sweeps, *symmetric)
+        }),
+        C::Chebyshev { degree, eig_ratio } => Box::new(Chebyshev::new(*degree, *eig_ratio)),
+        C::Ilu0 {} => Box::new(Ilu0::new()),
+        C::Dilu {} => Box::new(Dilu::new()),
+        C::BiCgStab { max_iters, rel_tol, precond } => {
+            let p = precond.as_ref().map(|c| solver_from_config(c));
+            Box::new(BiCgStab::new(*max_iters, *rel_tol, p))
+        }
+        C::Cg { max_iters, rel_tol, precond } => {
+            let p = precond.as_ref().map(|c| solver_from_config(c));
+            Box::new(Cg::new(*max_iters, *rel_tol, p))
+        }
+        C::Mpir { inner, precision, max_outer, rel_tol } => {
+            Box::new(Mpir::new(solver_from_config(inner), *precision, *max_outer, *rel_tol))
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! A geometric two-grid preconditioner for structured Poisson problems.
+//!
+//! The paper positions Gauss-Seidel "as a smoother in multigrid
+//! algorithms" (§V-D) but stops short of building one; this module takes
+//! the step for the structured-grid case the scaling study uses. The
+//! coarse grid halves each dimension; both levels live on the *same* tiles
+//! with box-aligned partitions, so restriction (scaled injection) and
+//! prolongation (piecewise-constant) are purely tile-local codelets — no
+//! extra communication beyond each level's own halo exchanges.
+//!
+//! The cycle is the classic pre-smooth → coarse-grid-correction →
+//! post-smooth V(ν,ν) on two levels, with any [`Solver`] as the coarse
+//! solver. Like everything else it is symbolically executed once and runs
+//! entirely on the device.
+
+use std::rc::Rc;
+
+use dsl::prelude::*;
+
+use crate::dist::DistSystem;
+use crate::solvers::{zero, GaussSeidel, Solver};
+use sparse::gen::{poisson_3d_7pt, Grid3};
+use sparse::partition::Partition;
+
+/// Two-grid V-cycle preconditioner over a structured 3D grid.
+pub struct TwoGrid {
+    fine_grid: Grid3,
+    factors: (usize, usize, usize),
+    pre_sweeps: u32,
+    post_sweeps: u32,
+    coarse_solver: Box<dyn Solver>,
+    built: Option<Built>,
+}
+
+struct Built {
+    smoother: GaussSeidel,
+    coarse: DistSystem,
+    r_fine: TensorRef,
+    rc: TensorRef,
+    xc: TensorRef,
+    restrict_map: TensorRef,
+    prolong_map: TensorRef,
+    restrict_codelet: graph::codelet::CodeletId,
+    prolong_codelet: graph::codelet::CodeletId,
+    restrict_data: Vec<f64>,
+    prolong_data: Vec<f64>,
+}
+
+impl TwoGrid {
+    /// `fine_grid` must have even dimensions divisible by the partition
+    /// `factors` (px, py, pz); the fine system handed to `setup` must be
+    /// the 7-point Poisson problem on that grid partitioned with
+    /// `Partition::grid_3d(fine_grid, px, py, pz)`.
+    pub fn new(
+        fine_grid: Grid3,
+        factors: (usize, usize, usize),
+        pre_sweeps: u32,
+        post_sweeps: u32,
+        coarse_solver: Box<dyn Solver>,
+    ) -> TwoGrid {
+        assert!(
+            fine_grid.nx % 2 == 0 && fine_grid.ny % 2 == 0 && fine_grid.nz % 2 == 0,
+            "two-grid coarsening needs even grid dimensions"
+        );
+        let (px, py, pz) = factors;
+        assert!(
+            (fine_grid.nx / 2) % px == 0
+                && (fine_grid.ny / 2) % py == 0
+                && (fine_grid.nz / 2) % pz == 0,
+            "coarse grid must divide evenly into the partition boxes"
+        );
+        TwoGrid { fine_grid, factors, pre_sweeps, post_sweeps, coarse_solver, built: None }
+    }
+}
+
+impl Solver for TwoGrid {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "two_grid"
+    }
+
+    fn setup(&mut self, ctx: &mut DslCtx, sys: &DistSystem) {
+        let fg = self.fine_grid;
+        assert_eq!(sys.num_rows(), fg.num_cells(), "fine system does not match the grid");
+        let (px, py, pz) = self.factors;
+        let cg = Grid3 { nx: fg.nx / 2, ny: fg.ny / 2, nz: fg.nz / 2 };
+
+        // The coarse operator: the same discretisation on the halved grid
+        // (for the unscaled 7-point stencil the residual restriction
+        // carries the (h_c/h_f)² = 4 scaling).
+        let a_c = Rc::new(poisson_3d_7pt(cg.nx, cg.ny, cg.nz));
+        let part_c = Partition::grid_3d(cg, px, py, pz);
+        let coarse = DistSystem::build(ctx, a_c, part_c);
+        assert_eq!(
+            coarse.num_tiles(),
+            sys.num_tiles(),
+            "fine and coarse partitions must use the same tiles"
+        );
+
+        let r_fine = sys.new_vector(ctx, "mg_r", DType::F32);
+        let rc = coarse.new_vector(ctx, "mg_rc", DType::F32);
+        let xc = coarse.new_vector(ctx, "mg_xc", DType::F32);
+
+        // Host-side transfer maps, in each tile's local orderings.
+        // restrict_map[coarse local i] = fine local index of (2X, 2Y, 2Z);
+        // prolong_map[fine local j]    = coarse local index of (X/2, ...).
+        let mut restrict_data = vec![0.0f64; coarse.vec_chunks.iter().map(|c| c.owned).sum()];
+        let mut prolong_data = vec![0.0f64; sys.vec_chunks.iter().map(|c| c.owned).sum()];
+        let mut roff = 0usize;
+        let mut poff = 0usize;
+        let mut restrict_chunks = Vec::new();
+        let mut prolong_chunks = Vec::new();
+        for t in 0..sys.num_tiles() {
+            let c_layout = &coarse.halo.layouts[t];
+            let f_layout = &sys.halo.layouts[t];
+            restrict_chunks.push(TensorChunk {
+                tile: t,
+                start: roff,
+                owned: c_layout.owned.len(),
+                total: c_layout.owned.len(),
+            });
+            prolong_chunks.push(TensorChunk {
+                tile: t,
+                start: poff,
+                owned: f_layout.owned.len(),
+                total: f_layout.owned.len(),
+            });
+            for (i, &crow) in c_layout.owned.iter().enumerate() {
+                let (cx, cy, cz) = cg.coords(crow);
+                let frow = fg.index(2 * cx, 2 * cy, 2 * cz);
+                let (ft, fl) = sys.halo.owner_slot[frow];
+                assert_eq!(ft as usize, t, "aligned boxes keep injection tile-local");
+                restrict_data[roff + i] = fl as f64;
+            }
+            for (j, &frow) in f_layout.owned.iter().enumerate() {
+                let (fx, fy, fz) = fg.coords(frow);
+                let crow = cg.index(fx / 2, fy / 2, fz / 2);
+                let (ct, cl) = coarse.halo.owner_slot[crow];
+                assert_eq!(ct as usize, t, "aligned boxes keep the parent tile-local");
+                prolong_data[poff + j] = cl as f64;
+            }
+            roff += c_layout.owned.len();
+            poff += f_layout.owned.len();
+        }
+        let restrict_map = ctx
+            .add_tensor(TensorDef {
+                name: "mg_rmap".into(),
+                dtype: DType::I32,
+                chunks: restrict_chunks,
+            })
+            .expect("restriction map");
+        let prolong_map = ctx
+            .add_tensor(TensorDef {
+                name: "mg_pmap".into(),
+                dtype: DType::I32,
+                chunks: prolong_chunks,
+            })
+            .expect("prolongation map");
+
+        // Transfer codelets.
+        let restrict_codelet = {
+            let mut cb = CodeDsl::new("mg_restrict");
+            let out = cb.param(DType::F32, true); // coarse residual (rows_c)
+            let fine = cb.param(DType::F32, false); // fine residual (rows_f)
+            let map = cb.param(DType::I32, false);
+            cb.par_for(Val::i32(0), out.len(), |cb, i| {
+                cb.store(out, i.clone(), fine.at(map.at(i)) * 4.0f32);
+            });
+            ctx.add_codelet(cb.build())
+        };
+        let prolong_codelet = {
+            let mut cb = CodeDsl::new("mg_prolong");
+            let x = cb.param(DType::F32, true); // fine solution (rows_f)
+            let e = cb.param(DType::F32, false); // coarse correction (rows_c)
+            let map = cb.param(DType::I32, false);
+            cb.par_for(Val::i32(0), x.len(), |cb, j| {
+                cb.store(x, j.clone(), x.at(j.clone()) + e.at(map.at(j)));
+            });
+            ctx.add_codelet(cb.build())
+        };
+
+        let mut smoother = GaussSeidel::new(self.pre_sweeps.max(self.post_sweeps), false);
+        smoother.setup(ctx, sys);
+        self.coarse_solver.setup(ctx, &coarse);
+
+        self.built = Some(Built {
+            smoother,
+            coarse,
+            r_fine,
+            rc,
+            xc,
+            restrict_map,
+            prolong_map,
+            restrict_codelet,
+            prolong_codelet,
+            restrict_data,
+            prolong_data,
+        });
+    }
+
+    fn solve(&mut self, ctx: &mut DslCtx, sys: &DistSystem, b: TensorRef, x: TensorRef) {
+        // Split the borrow: the coarse solver is driven separately from the
+        // built state, and the sweep counts are copied out so the closure
+        // does not capture `self`.
+        let (pre, post) = (self.pre_sweeps, self.post_sweeps);
+        let built = self.built.as_mut().expect("setup() not called");
+        let coarse_solver = &mut self.coarse_solver;
+        ctx.label("two_grid", |ctx| {
+            // Pre-smooth.
+            built.smoother.solve_sweeps(ctx, sys, b, x, pre);
+            // Fine residual and its restriction.
+            sys.residual(ctx, built.r_fine, b, x);
+            let mut restrict = Vec::new();
+            let mut prolong = Vec::new();
+            for t in 0..sys.num_tiles() {
+                let fc = sys.vec_chunks[t];
+                let cc = built.coarse.vec_chunks[t];
+                let rm = &ctx.graph().tensors[built.restrict_map.id].chunks[t];
+                let pm = &ctx.graph().tensors[built.prolong_map.id].chunks[t];
+                restrict.push(Vertex {
+                    tile: t,
+                    codelet: built.restrict_codelet,
+                    operands: vec![
+                        TensorSlice { tensor: built.rc.id, start: cc.start, len: cc.owned },
+                        TensorSlice { tensor: built.r_fine.id, start: fc.start, len: fc.owned },
+                        TensorSlice { tensor: built.restrict_map.id, start: rm.start, len: rm.owned },
+                    ],
+                    kind: VertexKind::Simple,
+                });
+                prolong.push(Vertex {
+                    tile: t,
+                    codelet: built.prolong_codelet,
+                    operands: vec![
+                        TensorSlice { tensor: x.id, start: fc.start, len: fc.owned },
+                        TensorSlice { tensor: built.xc.id, start: cc.start, len: cc.owned },
+                        TensorSlice { tensor: built.prolong_map.id, start: pm.start, len: pm.owned },
+                    ],
+                    kind: VertexKind::Simple,
+                });
+            }
+            ctx.execute("mg_restrict", restrict);
+            // Coarse-grid correction.
+            zero(ctx, built.xc);
+            coarse_solver.solve(ctx, &built.coarse, built.rc, built.xc);
+            ctx.execute("mg_prolong", prolong);
+            // Post-smooth.
+            built.smoother.solve_sweeps(ctx, sys, b, x, post);
+        });
+    }
+}
+
+/// Upload the transfer maps once the engine exists (called by users after
+/// `build_engine`, mirroring `DistSystem::upload`).
+impl TwoGrid {
+    pub fn upload(&self, engine: &mut graph::engine::Engine) {
+        let built = self.built.as_ref().expect("setup() not called");
+        built.coarse.upload(engine);
+        engine.write_tensor(built.restrict_map.id, &built.restrict_data);
+        engine.write_tensor(built.prolong_map.id, &built.prolong_data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::BiCgStab;
+    use sparse::gen::rhs_for_ones;
+
+    fn run_cycles(use_coarse_grid: bool, cycles: u32) -> f64 {
+        let fg = Grid3 { nx: 16, ny: 16, nz: 16 };
+        let a = Rc::new(poisson_3d_7pt(fg.nx, fg.ny, fg.nz));
+        let bs = rhs_for_ones(&a);
+        let part = Partition::grid_3d(fg, 2, 2, 2);
+        let mut ctx = DslCtx::new(IpuModel::tiny(8));
+        let sys = DistSystem::build(&mut ctx, a.clone(), part);
+        let b = sys.new_vector(&mut ctx, "b", DType::F32);
+        let x = sys.new_vector(&mut ctx, "x", DType::F32);
+
+        let mut tg: Option<TwoGrid> = None;
+        let mut gs: Option<GaussSeidel> = None;
+        if use_coarse_grid {
+            // V(2,2) with a well-converged coarse solve: the
+            // piecewise-constant/injection transfer pair needs a couple of
+            // smoothing steps per side to reach the classic multigrid
+            // contraction (~0.3/cycle measured).
+            let coarse = Box::new(BiCgStab::new(60, 1e-7, None));
+            let mut t = TwoGrid::new(fg, (2, 2, 2), 2, 2, coarse);
+            t.setup(&mut ctx, &sys);
+            ctx.repeat(cycles, |ctx| t.solve(ctx, &sys, b, x));
+            tg = Some(t);
+        } else {
+            // The same smoothing effort without the coarse correction.
+            let mut g = GaussSeidel::new(4, false);
+            g.setup(&mut ctx, &sys);
+            ctx.repeat(cycles, |ctx| g.solve(ctx, &sys, b, x));
+            gs = Some(g);
+        }
+        let mut e = ctx.build_engine().unwrap();
+        sys.upload(&mut e);
+        if let Some(t) = &tg {
+            t.upload(&mut e);
+        }
+        let _ = gs;
+        e.write_tensor(b.id, &sys.to_device_order(&bs));
+        e.run();
+        let got = sys.from_device_order(&e.read_tensor(x.id));
+        let r2: f64 = a
+            .spmv_alloc(&got)
+            .iter()
+            .zip(&bs)
+            .map(|(ax, b)| (ax - b) * (ax - b))
+            .sum();
+        let b2: f64 = bs.iter().map(|v| v * v).sum();
+        (r2 / b2).sqrt()
+    }
+
+    #[test]
+    fn coarse_grid_correction_beats_smoothing_alone() {
+        let two_grid = run_cycles(true, 6);
+        let smoother_only = run_cycles(false, 6);
+        assert!(
+            two_grid < smoother_only / 10.0,
+            "two-grid {two_grid:.3e} vs smoother-only {smoother_only:.3e}"
+        );
+        // And actually converges usefully in 6 cycles (~0.3 contraction
+        // per cycle measured).
+        assert!(two_grid < 5e-3, "two-grid residual {two_grid:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even grid dimensions")]
+    fn odd_grids_rejected() {
+        TwoGrid::new(
+            Grid3 { nx: 15, ny: 16, nz: 16 },
+            (2, 2, 2),
+            1,
+            1,
+            Box::new(crate::solvers::Identity::new()),
+        );
+    }
+}

@@ -1,0 +1,446 @@
+//! CodeDSL — the tile-centric codelet description language (paper §III).
+//!
+//! CodeDSL programs are written from a single tile's perspective: they see
+//! only the tensor slices handed to the codelet's parameters. The builder
+//! below is the Rust embedding — closures give the same "control flow as
+//! lambdas" syntax the paper's C++ embedding uses:
+//!
+//! ```
+//! use dsl::code::{CodeDsl, Val};
+//! use ipu_sim::DType;
+//!
+//! // y[i] = a * x[i] + y[i]
+//! let mut cb = CodeDsl::new("axpy");
+//! let a = cb.param(DType::F32, false);
+//! let x = cb.param(DType::F32, false);
+//! let y = cb.param(DType::F32, true);
+//! cb.par_for(Val::i32(0), x.len(), |cb, i| {
+//!     cb.store(y, i.clone(), a.at(Val::i32(0)) * x.at(i.clone()) + y.at(i));
+//! });
+//! let codelet = cb.build();
+//! assert_eq!(codelet.params.len(), 3);
+//! ```
+//!
+//! Where the paper's CodeDSL emits C control-flow statements into generated
+//! C++ codelets, this builder emits [`graph::Stmt`] nodes into the codelet
+//! IR — the same compilation strategy, one IR earlier.
+
+use graph::codelet::{BinOp, Codelet, Expr, LocalId, ParamDecl, ParamId, Stmt, UnOp, Value};
+use ipu_sim::cost::DType;
+use twofloat::TwoFloat;
+
+/// A dynamically typed CodeDSL value: an expression tree fragment.
+#[derive(Clone, Debug)]
+pub struct Val(pub(crate) Expr);
+
+impl Val {
+    pub fn i32(v: i32) -> Val {
+        Val(Expr::Const(Value::I32(v)))
+    }
+
+    pub fn f32(v: f32) -> Val {
+        Val(Expr::Const(Value::F32(v)))
+    }
+
+    /// A double-word constant, split from an f64 at build time (the
+    /// "constants calculated during compilation" of the TWOFLOAT library).
+    pub fn dw(v: f64) -> Val {
+        Val(Expr::Const(Value::Dw(TwoFloat::from_f64(v))))
+    }
+
+    /// A software-double constant.
+    pub fn f64c(v: f64) -> Val {
+        Val(Expr::Const(Value::F64(v)))
+    }
+
+    pub fn bool_(v: bool) -> Val {
+        Val(Expr::Const(Value::Bool(v)))
+    }
+
+    fn bin(op: BinOp, a: Val, b: Val) -> Val {
+        Val(Expr::bin(op, a.0, b.0))
+    }
+
+    pub fn lt(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Lt, self, rhs.into())
+    }
+    pub fn le(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Le, self, rhs.into())
+    }
+    pub fn gt(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Gt, self, rhs.into())
+    }
+    pub fn ge(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Ge, self, rhs.into())
+    }
+    pub fn eq_(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Eq, self, rhs.into())
+    }
+    pub fn ne_(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Ne, self, rhs.into())
+    }
+    pub fn and(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::And, self, rhs.into())
+    }
+    pub fn or(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Or, self, rhs.into())
+    }
+    pub fn min_(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Min, self, rhs.into())
+    }
+    pub fn max_(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Max, self, rhs.into())
+    }
+    #[allow(clippy::should_implement_trait)] // DSL method, not std::ops
+    pub fn rem(self, rhs: impl Into<Val>) -> Val {
+        Val::bin(BinOp::Rem, self, rhs.into())
+    }
+    pub fn abs(self) -> Val {
+        Val(Expr::un(UnOp::Abs, self.0))
+    }
+    pub fn sqrt(self) -> Val {
+        Val(Expr::un(UnOp::Sqrt, self.0))
+    }
+    #[allow(clippy::should_implement_trait)] // DSL method, not std::ops
+    pub fn not(self) -> Val {
+        Val(Expr::un(UnOp::Not, self.0))
+    }
+    /// Explicit conversion to a device type.
+    pub fn to(self, dtype: DType) -> Val {
+        Val(Expr::Convert { to: dtype, arg: Box::new(self.0) })
+    }
+    /// Branch-free select: `cond ? self : other`.
+    pub fn select(cond: Val, then: Val, otherwise: Val) -> Val {
+        Val(Expr::Select {
+            cond: Box::new(cond.0),
+            then: Box::new(then.0),
+            otherwise: Box::new(otherwise.0),
+        })
+    }
+}
+
+macro_rules! val_from {
+    ($t:ty, $ctor:expr) => {
+        impl From<$t> for Val {
+            fn from(v: $t) -> Val {
+                #[allow(clippy::redundant_closure_call)]
+                ($ctor)(v)
+            }
+        }
+    };
+}
+val_from!(i32, Val::i32);
+val_from!(f32, Val::f32);
+val_from!(bool, Val::bool_);
+val_from!(usize, |v: usize| Val::i32(v as i32));
+
+macro_rules! val_op {
+    ($trait:ident, $m:ident, $op:expr) => {
+        impl<R: Into<Val>> std::ops::$trait<R> for Val {
+            type Output = Val;
+            fn $m(self, rhs: R) -> Val {
+                Val::bin($op, self, rhs.into())
+            }
+        }
+    };
+}
+val_op!(Add, add, BinOp::Add);
+val_op!(Sub, sub, BinOp::Sub);
+val_op!(Mul, mul, BinOp::Mul);
+val_op!(Div, div, BinOp::Div);
+
+impl std::ops::Neg for Val {
+    type Output = Val;
+    fn neg(self) -> Val {
+        Val(Expr::un(UnOp::Neg, self.0))
+    }
+}
+
+/// Handle to a codelet parameter (a tensor slice on the executing tile).
+#[derive(Clone, Copy, Debug)]
+pub struct Param(pub(crate) ParamId);
+
+impl Param {
+    /// Load `self[index]`.
+    pub fn at(self, index: impl Into<Val>) -> Val {
+        Val(Expr::index(self.0, index.into().0))
+    }
+
+    /// The slice length.
+    pub fn len(self) -> Val {
+        Val(Expr::ParamLen(self.0))
+    }
+
+    pub fn id(self) -> ParamId {
+        self.0
+    }
+}
+
+/// Handle to a mutable local variable.
+#[derive(Clone, Copy, Debug)]
+pub struct Var(pub(crate) LocalId);
+
+impl Var {
+    pub fn get(self) -> Val {
+        Val(Expr::Local(self.0))
+    }
+}
+
+/// The CodeDSL builder: accumulates statements for one codelet.
+pub struct CodeDsl {
+    name: String,
+    params: Vec<ParamDecl>,
+    num_locals: usize,
+    frames: Vec<Vec<Stmt>>,
+    is_levelset: bool,
+}
+
+impl CodeDsl {
+    pub fn new(name: impl Into<String>) -> Self {
+        CodeDsl {
+            name: name.into(),
+            params: Vec::new(),
+            num_locals: 0,
+            frames: vec![Vec::new()],
+            is_levelset: false,
+        }
+    }
+
+    /// A codelet for level-set scheduled execution: the engine sets local 0
+    /// to the current row index before each per-row invocation.
+    pub fn new_level_set(name: impl Into<String>) -> (Self, Var) {
+        let mut cb = Self::new(name);
+        cb.is_levelset = true;
+        let row = Var(cb.alloc_local());
+        (cb, row)
+    }
+
+    fn alloc_local(&mut self) -> LocalId {
+        let id = self.num_locals;
+        self.num_locals += 1;
+        id
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.frames.last_mut().expect("frame stack never empty").push(s);
+    }
+
+    /// Declare the next parameter.
+    pub fn param(&mut self, dtype: DType, mutable: bool) -> Param {
+        self.params.push(ParamDecl { dtype, mutable });
+        Param(self.params.len() - 1)
+    }
+
+    /// Declare a mutable local variable with an initial value.
+    pub fn var(&mut self, init: impl Into<Val>) -> Var {
+        let id = self.alloc_local();
+        self.push(Stmt::SetLocal(id, init.into().0));
+        Var(id)
+    }
+
+    /// Bind an expression to a local (evaluate once, reuse).
+    pub fn let_(&mut self, value: impl Into<Val>) -> Val {
+        let id = self.alloc_local();
+        self.push(Stmt::SetLocal(id, value.into().0));
+        Val(Expr::Local(id))
+    }
+
+    /// `var = value`.
+    pub fn assign(&mut self, var: Var, value: impl Into<Val>) {
+        self.push(Stmt::SetLocal(var.0, value.into().0));
+    }
+
+    /// `param[index] = value`.
+    pub fn store(&mut self, param: Param, index: impl Into<Val>, value: impl Into<Val>) {
+        self.push(Stmt::Store { param: param.0, index: index.into().0, value: value.into().0 });
+    }
+
+    fn scoped(&mut self, f: impl FnOnce(&mut Self)) -> Vec<Stmt> {
+        self.frames.push(Vec::new());
+        f(self);
+        self.frames.pop().expect("scoped frame present")
+    }
+
+    /// `if (cond) { f }`.
+    pub fn if_(&mut self, cond: impl Into<Val>, f: impl FnOnce(&mut Self)) {
+        let then = self.scoped(f);
+        self.push(Stmt::If { cond: cond.into().0, then, otherwise: Vec::new() });
+    }
+
+    /// `if (cond) { t } else { e }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Val>,
+        t: impl FnOnce(&mut Self),
+        e: impl FnOnce(&mut Self),
+    ) {
+        let then = self.scoped(t);
+        let otherwise = self.scoped(e);
+        self.push(Stmt::If { cond: cond.into().0, then, otherwise });
+    }
+
+    /// `while (cond) { f }` — `cond` re-evaluated each iteration.
+    pub fn while_(&mut self, cond: impl Into<Val>, f: impl FnOnce(&mut Self)) {
+        let body = self.scoped(f);
+        self.push(Stmt::While { cond: cond.into().0, body });
+    }
+
+    /// `for (i = start; i < end; i += step) { f(i) }` — the paper's
+    /// `For(0, x.size(), 1, [&](Value i){...})`.
+    pub fn for_(
+        &mut self,
+        start: impl Into<Val>,
+        end: impl Into<Val>,
+        step: impl Into<Val>,
+        f: impl FnOnce(&mut Self, Val),
+    ) {
+        let local = self.alloc_local();
+        let body = self.scoped(|cb| f(cb, Val(Expr::Local(local))));
+        self.push(Stmt::For {
+            local,
+            start: start.into().0,
+            end: end.into().0,
+            step: step.into().0,
+            body,
+        });
+    }
+
+    /// A worker-parallel loop: iterations must be independent; costed as the
+    /// six-worker makespan.
+    pub fn par_for(
+        &mut self,
+        start: impl Into<Val>,
+        end: impl Into<Val>,
+        f: impl FnOnce(&mut Self, Val),
+    ) {
+        let local = self.alloc_local();
+        let body = self.scoped(|cb| f(cb, Val(Expr::Local(local))));
+        self.push(Stmt::ParFor { local, start: start.into().0, end: end.into().0, body });
+    }
+
+    /// Finish and produce the codelet.
+    pub fn build(mut self) -> Codelet {
+        assert_eq!(self.frames.len(), 1, "unbalanced control-flow frames");
+        let body = self.frames.pop().unwrap();
+        Codelet {
+            name: self.name,
+            params: self.params,
+            num_locals: self.num_locals.max(if self.is_levelset { 1 } else { 0 }),
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::codelet::{Interp, ParamData};
+    use ipu_sim::cost::CostModel;
+
+    fn run(c: &Codelet, params: &mut [ParamData]) -> u64 {
+        c.validate().unwrap();
+        let cm = CostModel::default();
+        let mut i = Interp::new(&cm, params, c.num_locals, 6);
+        i.run(&c.body)
+    }
+
+    #[test]
+    fn leibniz_sequence_from_the_paper() {
+        // Figure 1: x[i] = ((i % 2 == 0) ? 1 : -1) / (2*i + 1)
+        let mut cb = CodeDsl::new("leibniz");
+        let x = cb.param(DType::F32, true);
+        cb.for_(Val::i32(0), x.len(), Val::i32(1), |cb, i| {
+            let sign = Val::select(
+                i.clone().rem(Val::i32(2)).eq_(Val::i32(0)),
+                Val::f32(1.0),
+                Val::f32(-1.0),
+            );
+            cb.store(x, i.clone(), sign / (i * 2 + Val::i32(1)).to(DType::F32));
+        });
+        let c = cb.build();
+        let mut data = vec![0.0f32; 10000];
+        run(&c, &mut [ParamData::F32(&mut data)]);
+        let pi: f32 = data.iter().sum::<f32>() * 4.0;
+        assert!((pi - std::f32::consts::PI).abs() < 1e-3, "pi = {pi}");
+    }
+
+    #[test]
+    fn var_accumulator() {
+        let mut cb = CodeDsl::new("sum");
+        let x = cb.param(DType::F32, false);
+        let out = cb.param(DType::F32, true);
+        let acc = cb.var(Val::f32(0.0));
+        cb.for_(Val::i32(0), x.len(), Val::i32(1), |cb, i| {
+            cb.assign(acc, acc.get() + x.at(i));
+        });
+        cb.store(out, Val::i32(0), acc.get());
+        let c = cb.build();
+        let mut x = vec![1.5f32, 2.5, -1.0];
+        let mut o = vec![0.0f32];
+        run(&c, &mut [ParamData::F32(&mut x), ParamData::F32(&mut o)]);
+        assert_eq!(o[0], 3.0);
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        // out[0] = number of odd values below 5 in x.
+        let mut cb = CodeDsl::new("count");
+        let x = cb.param(DType::I32, false);
+        let out = cb.param(DType::I32, true);
+        let n = cb.var(Val::i32(0));
+        cb.for_(Val::i32(0), x.len(), Val::i32(1), |cb, i| {
+            let v = cb.let_(x.at(i));
+            cb.if_(v.clone().rem(2).eq_(Val::i32(1)), |cb| {
+                cb.if_(v.clone().lt(Val::i32(5)), |cb| {
+                    cb.assign(n, n.get() + 1);
+                });
+            });
+        });
+        cb.store(out, Val::i32(0), n.get());
+        let c = cb.build();
+        let mut x = vec![1i32, 2, 3, 7, 9, 4, 3];
+        let mut o = vec![0i32];
+        run(&c, &mut [ParamData::I32(&mut x), ParamData::I32(&mut o)]);
+        assert_eq!(o[0], 3); // 1, 3, 3
+    }
+
+    #[test]
+    fn while_loop_newton_sqrt() {
+        // Newton iteration for sqrt(2) in f32.
+        let mut cb = CodeDsl::new("newton");
+        let out = cb.param(DType::F32, true);
+        let g = cb.var(Val::f32(1.0));
+        let k = cb.var(Val::i32(0));
+        cb.while_(k.get().lt(Val::i32(20)), |cb| {
+            cb.assign(g, (g.get() + Val::f32(2.0) / g.get()) / 2.0f32);
+            cb.assign(k, k.get() + 1);
+        });
+        cb.store(out, Val::i32(0), g.get());
+        let c = cb.build();
+        let mut o = vec![0.0f32];
+        run(&c, &mut [ParamData::F32(&mut o)]);
+        assert!((o[0] - std::f32::consts::SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn double_word_constants_survive() {
+        let mut cb = CodeDsl::new("dwc");
+        let out = cb.param(DType::DoubleWord, true);
+        cb.store(out, Val::i32(0), Val::dw(1.0 + 1e-9) + Val::dw(1e-10));
+        let c = cb.build();
+        let mut o = vec![twofloat::TwoF32::ZERO];
+        run(&c, &mut [ParamData::Dw(&mut o)]);
+        assert!((o[0].to_f64() - (1.0 + 1.1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn level_set_builder_reserves_row_local() {
+        let (mut cb, row) = CodeDsl::new_level_set("ls");
+        let x = cb.param(DType::F32, true);
+        cb.store(x, row.get(), Val::f32(1.0));
+        let c = cb.build();
+        assert!(c.num_locals >= 1);
+        assert_eq!(row.0, 0);
+        c.validate().unwrap();
+    }
+}

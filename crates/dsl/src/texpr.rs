@@ -1,0 +1,308 @@
+//! TensorDSL expression objects (paper §III-C).
+//!
+//! Evaluating `x * 4` in TensorDSL does not touch the dataflow graph:
+//! it returns an *expression object*. Expression objects compose; only
+//! when a value is needed is the expression **materialised** — one fused
+//! codelet per tile covering the whole tree, which both lets the codelet
+//! compiler optimise across operations and keeps the dataflow graph and
+//! schedule small (the paper's compile-time argument). Materialisation
+//! lives in [`crate::ctx`]; this module is the pure expression algebra.
+
+use graph::codelet::{BinOp, UnOp, Value};
+use graph::tensor::TensorId;
+use ipu_sim::cost::DType;
+use twofloat::TwoFloat;
+
+/// A lightweight handle to a tensor in the DSL context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorRef {
+    pub id: TensorId,
+    pub dtype: DType,
+    /// Length-1 tensors broadcast against vectors (NumPy rule).
+    pub scalar: bool,
+}
+
+/// A TensorDSL expression tree.
+#[derive(Clone, Debug)]
+pub enum TExpr {
+    Tensor(TensorRef),
+    Const(Value),
+    Bin(BinOp, Box<TExpr>, Box<TExpr>),
+    Un(UnOp, Box<TExpr>),
+    Convert(DType, Box<TExpr>),
+    /// Branch-free `cond ? then : otherwise` (both sides evaluated).
+    Select(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+}
+
+impl TExpr {
+    pub fn c_f32(v: f32) -> TExpr {
+        TExpr::Const(Value::F32(v))
+    }
+
+    pub fn c_i32(v: i32) -> TExpr {
+        TExpr::Const(Value::I32(v))
+    }
+
+    /// Double-word constant (split at symbolic-execution time).
+    pub fn c_dw(v: f64) -> TExpr {
+        TExpr::Const(Value::Dw(TwoFloat::from_f64(v)))
+    }
+
+    pub fn c_f64(v: f64) -> TExpr {
+        TExpr::Const(Value::F64(v))
+    }
+
+    pub fn abs(self) -> TExpr {
+        TExpr::Un(UnOp::Abs, Box::new(self))
+    }
+
+    pub fn sqrt(self) -> TExpr {
+        TExpr::Un(UnOp::Sqrt, Box::new(self))
+    }
+
+    pub fn to(self, dtype: DType) -> TExpr {
+        TExpr::Convert(dtype, Box::new(self))
+    }
+
+    pub fn lt(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Lt, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn le(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Le, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn gt(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Gt, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn ge(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Ge, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn eq_(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Eq, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn and(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::And, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn or(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Or, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn min_(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Min, Box::new(self), Box::new(rhs.into()))
+    }
+
+    pub fn max_(self, rhs: impl Into<TExpr>) -> TExpr {
+        TExpr::Bin(BinOp::Max, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `cond ? then : otherwise` — used e.g. to guard Krylov breakdown
+    /// divisions (`ω = t·t > 0 ? (t·s)/(t·t) : 0`).
+    pub fn select(cond: TExpr, then: impl Into<TExpr>, otherwise: impl Into<TExpr>) -> TExpr {
+        TExpr::Select(Box::new(cond), Box::new(then.into()), Box::new(otherwise.into()))
+    }
+
+    /// The result dtype under the dynamic promotion lattice.
+    pub fn dtype(&self) -> DType {
+        fn rank(d: DType) -> u8 {
+            match d {
+                DType::Bool => 0,
+                DType::I32 => 1,
+                DType::F32 => 2,
+                DType::DoubleWord => 3,
+                DType::F64Emulated => 4,
+            }
+        }
+        match self {
+            TExpr::Tensor(t) => t.dtype,
+            TExpr::Const(v) => v.dtype(),
+            TExpr::Bin(op, a, b) => {
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                        | BinOp::And
+                        | BinOp::Or
+                ) {
+                    DType::Bool
+                } else {
+                    let (da, db) = (a.dtype(), b.dtype());
+                    if rank(da) >= rank(db) {
+                        da
+                    } else {
+                        db
+                    }
+                }
+            }
+            TExpr::Un(UnOp::Not, _) => DType::Bool,
+            TExpr::Un(_, a) => a.dtype(),
+            TExpr::Convert(d, _) => *d,
+            TExpr::Select(_, t, o) => {
+                let (dt, do_) = (t.dtype(), o.dtype());
+                if rank(dt) >= rank(do_) {
+                    dt
+                } else {
+                    do_
+                }
+            }
+        }
+    }
+
+    /// Distinct tensor leaves in first-occurrence order.
+    pub fn leaves(&self) -> Vec<TensorRef> {
+        let mut out: Vec<TensorRef> = Vec::new();
+        self.visit_leaves(&mut |t| {
+            if !out.iter().any(|o| o.id == t.id) {
+                out.push(t);
+            }
+        });
+        out
+    }
+
+    fn visit_leaves(&self, f: &mut impl FnMut(TensorRef)) {
+        match self {
+            TExpr::Tensor(t) => f(*t),
+            TExpr::Const(_) => {}
+            TExpr::Bin(_, a, b) => {
+                a.visit_leaves(f);
+                b.visit_leaves(f);
+            }
+            TExpr::Un(_, a) | TExpr::Convert(_, a) => a.visit_leaves(f),
+            TExpr::Select(c, t, o) => {
+                c.visit_leaves(f);
+                t.visit_leaves(f);
+                o.visit_leaves(f);
+            }
+        }
+    }
+
+    /// Whether every leaf is a scalar (the result is a scalar).
+    pub fn all_scalar(&self) -> bool {
+        self.leaves().iter().all(|t| t.scalar)
+    }
+}
+
+impl From<TensorRef> for TExpr {
+    fn from(t: TensorRef) -> TExpr {
+        TExpr::Tensor(t)
+    }
+}
+
+impl From<f32> for TExpr {
+    fn from(v: f32) -> TExpr {
+        TExpr::c_f32(v)
+    }
+}
+
+impl From<i32> for TExpr {
+    fn from(v: i32) -> TExpr {
+        TExpr::c_i32(v)
+    }
+}
+
+macro_rules! texpr_bin {
+    ($trait:ident, $m:ident, $op:expr) => {
+        impl<R: Into<TExpr>> std::ops::$trait<R> for TExpr {
+            type Output = TExpr;
+            fn $m(self, rhs: R) -> TExpr {
+                TExpr::Bin($op, Box::new(self), Box::new(rhs.into()))
+            }
+        }
+        impl<R: Into<TExpr>> std::ops::$trait<R> for TensorRef {
+            type Output = TExpr;
+            fn $m(self, rhs: R) -> TExpr {
+                TExpr::Bin($op, Box::new(TExpr::Tensor(self)), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+texpr_bin!(Add, add, BinOp::Add);
+texpr_bin!(Sub, sub, BinOp::Sub);
+texpr_bin!(Mul, mul, BinOp::Mul);
+texpr_bin!(Div, div, BinOp::Div);
+
+impl std::ops::Neg for TExpr {
+    type Output = TExpr;
+    fn neg(self) -> TExpr {
+        TExpr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl std::ops::Neg for TensorRef {
+    type Output = TExpr;
+    fn neg(self) -> TExpr {
+        TExpr::Un(UnOp::Neg, Box::new(TExpr::Tensor(self)))
+    }
+}
+
+impl TensorRef {
+    pub fn ex(self) -> TExpr {
+        TExpr::Tensor(self)
+    }
+
+    pub fn abs(self) -> TExpr {
+        self.ex().abs()
+    }
+
+    pub fn sqrt(self) -> TExpr {
+        self.ex().sqrt()
+    }
+
+    pub fn to(self, dtype: DType) -> TExpr {
+        self.ex().to(dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize, dtype: DType, scalar: bool) -> TensorRef {
+        TensorRef { id, dtype, scalar }
+    }
+
+    #[test]
+    fn expression_objects_compose_without_materialising() {
+        let x = t(0, DType::F32, false);
+        let y = t(1, DType::F32, false);
+        let e = (x * 4.0f32 + y) / 2.0f32;
+        assert_eq!(e.dtype(), DType::F32);
+        assert_eq!(e.leaves().len(), 2);
+    }
+
+    #[test]
+    fn leaves_deduplicate() {
+        let x = t(0, DType::F32, false);
+        let e = x * x + x;
+        assert_eq!(e.leaves().len(), 1);
+    }
+
+    #[test]
+    fn promotion_to_double_word() {
+        let x = t(0, DType::F32, false);
+        let r = t(1, DType::DoubleWord, false);
+        assert_eq!((x + r).dtype(), DType::DoubleWord);
+        assert_eq!((x.ex() + 1.0f32).dtype(), DType::F32);
+        assert_eq!(x.to(DType::F64Emulated).dtype(), DType::F64Emulated);
+    }
+
+    #[test]
+    fn comparisons_are_bool() {
+        let x = t(0, DType::F32, true);
+        let e = x.ex().abs().lt(1e-3f32);
+        assert_eq!(e.dtype(), DType::Bool);
+    }
+
+    #[test]
+    fn scalar_detection() {
+        let a = t(0, DType::F32, true);
+        let b = t(1, DType::F32, true);
+        let v = t(2, DType::F32, false);
+        assert!((a * b).all_scalar());
+        assert!(!(a * v).all_scalar());
+        assert!(TExpr::c_f32(1.0).all_scalar());
+    }
+}

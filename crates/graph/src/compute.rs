@@ -1,0 +1,92 @@
+//! Compute sets and vertices.
+//!
+//! A *vertex* is one codelet instance bound to tensor slices and placed on
+//! a tile; a *compute set* groups vertices that execute in parallel within
+//! one BSP superstep (Poplar inserts a synchronisation before each compute
+//! set). Vertices come in two kinds: plain codelets, and the level-set
+//! scheduled kind used by Gauss-Seidel/ILU, where the codelet body runs
+//! once per matrix row with intra-tile worker barriers between levels
+//! (the IPUTHREADING execution scheme, §V-A).
+
+use crate::codelet::CodeletId;
+use crate::tensor::TensorId;
+use ipu_sim::model::TileId;
+
+/// Index of a compute set within a graph.
+pub type ComputeSetId = usize;
+
+/// A contiguous slice of a tensor's flat index space bound to a codelet
+/// parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorSlice {
+    pub tensor: TensorId,
+    pub start: usize,
+    pub len: usize,
+}
+
+impl TensorSlice {
+    pub fn whole(tensor: TensorId, len: usize) -> Self {
+        TensorSlice { tensor, start: 0, len }
+    }
+}
+
+/// How a vertex executes its codelet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VertexKind {
+    /// The codelet body runs once.
+    Simple,
+    /// The codelet body runs once per item, items grouped into dependency
+    /// levels. Local 0 receives the item index. Cycles are costed as the
+    /// six-worker LPT makespan per level plus one worker barrier per level
+    /// (the IPUTHREADING scheme).
+    LevelSet { levels: Vec<Vec<usize>> },
+}
+
+/// One codelet instance on one tile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vertex {
+    pub tile: TileId,
+    pub codelet: CodeletId,
+    /// One slice per codelet parameter, in declaration order.
+    pub operands: Vec<TensorSlice>,
+    pub kind: VertexKind,
+}
+
+/// A set of parallel-executable vertices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ComputeSet {
+    pub name: String,
+    pub vertices: Vec<Vertex>,
+}
+
+impl ComputeSet {
+    pub fn new(name: impl Into<String>) -> Self {
+        ComputeSet { name: name.into(), vertices: Vec::new() }
+    }
+
+    pub fn add(&mut self, v: Vertex) {
+        self.vertices.push(v);
+    }
+
+    /// Tiles this compute set touches.
+    pub fn tiles(&self) -> Vec<TileId> {
+        let mut t: Vec<TileId> = self.vertices.iter().map(|v| v.tile).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_set_tiles_deduplicated() {
+        let mut cs = ComputeSet::new("t");
+        for tile in [3, 1, 3, 2] {
+            cs.add(Vertex { tile, codelet: 0, operands: vec![], kind: VertexKind::Simple });
+        }
+        assert_eq!(cs.tiles(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,943 @@
+//! The execution engine — concrete execution of a compiled graph program.
+//!
+//! Walks the program schedule, runs codelets through the cycle-accounting
+//! interpreter, applies exchanges, evaluates control flow against scalar
+//! predicate tensors, and accumulates a [`CycleStats`] profile — the
+//! simulator counterpart of loading a Poplar executable onto the device and
+//! reading the profiler afterwards.
+//!
+//! Cost semantics per step:
+//!
+//! * `Execute` — one BSP superstep: a sync barrier, an automatic exchange
+//!   for operands read from remote tiles (Poplar's compiler-inserted
+//!   pre-compute-set exchange; scalars broadcast this way), then the
+//!   per-tile maximum of codelet cycles.
+//! * `Exchange` — a sync plus the fabric cost of the blockwise copies
+//!   ([`ipu_sim::ExchangeProgram`]): broadcast-aware, all-to-all,
+//!   IPU-Link latency when chips are crossed.
+//! * `Copy` — an on-tile memcpy parallelised over the worker threads.
+//! * `If`/`While` — control-flow decisions synchronise all tiles.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use ipu_sim::clock::CycleStats;
+use ipu_sim::cost::{DType, Op};
+use ipu_sim::exchange::{BlockCopy, ExchangeProgram};
+use ipu_sim::model::TileId;
+use twofloat::{SoftDouble, TwoF32, TwoFloat};
+
+use crate::codelet::{Interp, ParamData, Value};
+use crate::compute::{TensorSlice, VertexKind};
+use crate::graph::{Executable, Graph};
+use crate::program::{ElemCopy, ExchangeStep, Prog};
+use crate::tensor::TensorId;
+
+/// Typed backing storage of one tensor.
+#[derive(Clone, Debug)]
+pub enum Storage {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    Bool(Vec<bool>),
+    Dw(Vec<TwoF32>),
+    F64(Vec<SoftDouble>),
+}
+
+impl Storage {
+    fn zeros(dtype: DType, len: usize) -> Storage {
+        match dtype {
+            DType::F32 => Storage::F32(vec![0.0; len]),
+            DType::I32 => Storage::I32(vec![0; len]),
+            DType::Bool => Storage::Bool(vec![false; len]),
+            DType::DoubleWord => Storage::Dw(vec![TwoFloat::ZERO; len]),
+            DType::F64Emulated => Storage::F64(vec![SoftDouble::ZERO; len]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::I32(v) => v.len(),
+            Storage::Bool(v) => v.len(),
+            Storage::Dw(v) => v.len(),
+            Storage::F64(v) => v.len(),
+        }
+    }
+
+    fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Storage::F32(v) => v[i] as f64,
+            Storage::I32(v) => v[i] as f64,
+            Storage::Bool(v) => v[i] as u8 as f64,
+            Storage::Dw(v) => v[i].to_f64(),
+            Storage::F64(v) => v[i].0,
+        }
+    }
+
+    fn set_f64(&mut self, i: usize, x: f64) {
+        match self {
+            Storage::F32(v) => v[i] = x as f32,
+            Storage::I32(v) => v[i] = x as i32,
+            Storage::Bool(v) => v[i] = x != 0.0,
+            Storage::Dw(v) => v[i] = TwoFloat::from_f64(x),
+            Storage::F64(v) => v[i] = SoftDouble(x),
+        }
+    }
+}
+
+/// Host-side view of tensor storage handed to callbacks.
+pub struct HostView<'a> {
+    pub graph: &'a Graph,
+    storage: &'a mut [Storage],
+}
+
+impl HostView<'_> {
+    /// Read a tensor's values as f64 (double-word pairs are summed —
+    /// lossless; f32 widened).
+    pub fn read_f64(&self, t: TensorId) -> Vec<f64> {
+        let s = &self.storage[t];
+        (0..s.len()).map(|i| s.get_f64(i)).collect()
+    }
+
+    /// Write f64 values into a tensor with the conversion its dtype
+    /// implies.
+    pub fn write_f64(&mut self, t: TensorId, values: &[f64]) {
+        let s = &mut self.storage[t];
+        assert_eq!(values.len(), s.len(), "length mismatch writing tensor {t}");
+        for (i, &v) in values.iter().enumerate() {
+            s.set_f64(i, v);
+        }
+    }
+
+    /// Read element 0 of a tensor as f64.
+    pub fn read_scalar(&self, t: TensorId) -> f64 {
+        self.storage[t].get_f64(0)
+    }
+}
+
+/// A registered host callback.
+pub type HostCallback = Box<dyn FnMut(&mut HostView<'_>)>;
+
+/// The execution engine for one compiled program.
+pub struct Engine {
+    graph: Graph,
+    program: Prog,
+    storage: Vec<Storage>,
+    stats: CycleStats,
+    callbacks: HashMap<usize, HostCallback>,
+}
+
+impl Engine {
+    pub fn new(exec: Executable) -> Self {
+        let storage =
+            exec.graph.tensors.iter().map(|t| Storage::zeros(t.dtype, t.len())).collect();
+        let stats = CycleStats::new(exec.graph.model.num_tiles());
+        Engine { graph: exec.graph, program: exec.program, storage, stats, callbacks: HashMap::new() }
+    }
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Register the host callback invoked by `Prog::Callback(id)`.
+    pub fn register_callback(&mut self, id: usize, f: HostCallback) {
+        self.callbacks.insert(id, f);
+    }
+
+    /// Accumulated cycle statistics across all `run()` calls since the last
+    /// reset.
+    pub fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Device seconds corresponding to the accumulated cycles.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.graph.model.cycles_to_seconds(self.stats.device_cycles())
+    }
+
+    pub fn read_tensor(&self, t: TensorId) -> Vec<f64> {
+        let s = &self.storage[t];
+        (0..s.len()).map(|i| s.get_f64(i)).collect()
+    }
+
+    pub fn write_tensor(&mut self, t: TensorId, values: &[f64]) {
+        let s = &mut self.storage[t];
+        assert_eq!(values.len(), s.len(), "length mismatch writing tensor {t}");
+        for (i, &v) in values.iter().enumerate() {
+            s.set_f64(i, v);
+        }
+    }
+
+    pub fn read_scalar(&self, t: TensorId) -> f64 {
+        self.storage[t].get_f64(0)
+    }
+
+    pub fn write_scalar(&mut self, t: TensorId, v: f64) {
+        self.storage[t].set_f64(0, v);
+    }
+
+    /// Execute the program once.
+    pub fn run(&mut self) {
+        let mut ctx = ExecCtx {
+            graph: &self.graph,
+            storage: &mut self.storage,
+            stats: &mut self.stats,
+            callbacks: &mut self.callbacks,
+        };
+        let program = self.program.clone();
+        ctx.exec(&program);
+    }
+}
+
+struct ExecCtx<'a> {
+    graph: &'a Graph,
+    storage: &'a mut Vec<Storage>,
+    stats: &'a mut CycleStats,
+    callbacks: &'a mut HashMap<usize, HostCallback>,
+}
+
+impl ExecCtx<'_> {
+    fn exec(&mut self, p: &Prog) {
+        match p {
+            Prog::Nop => {}
+            Prog::Seq(steps) => steps.iter().for_each(|s| self.exec(s)),
+            Prog::Execute(cs) => self.execute_compute_set(*cs),
+            Prog::Exchange(ex) => self.exchange(ex),
+            Prog::Copy { src, dst } => self.copy(*src, *dst),
+            Prog::Repeat(n, body) => {
+                for _ in 0..*n {
+                    self.exec(body);
+                }
+            }
+            Prog::If { pred, then, otherwise } => {
+                self.stats.record_sync(self.graph.cost.sync_on_chip_cycles);
+                if self.read_pred(*pred) {
+                    self.exec(then);
+                } else {
+                    self.exec(otherwise);
+                }
+            }
+            Prog::While { cond, pred, body } => loop {
+                self.exec(cond);
+                self.stats.record_sync(self.graph.cost.sync_on_chip_cycles);
+                if !self.read_pred(*pred) {
+                    break;
+                }
+                self.exec(body);
+            },
+            Prog::Label(name, body) => {
+                self.stats.push_label(name.clone());
+                self.exec(body);
+                self.stats.pop_label();
+            }
+            Prog::Callback(id) => {
+                if let Some(mut cb) = self.callbacks.remove(id) {
+                    let mut view = HostView { graph: self.graph, storage: self.storage };
+                    cb(&mut view);
+                    self.callbacks.insert(*id, cb);
+                }
+            }
+        }
+    }
+
+    fn read_pred(&self, t: TensorId) -> bool {
+        self.storage[t].get_f64(0) != 0.0
+    }
+
+    fn execute_compute_set(&mut self, id: usize) {
+        let cs = &self.graph.compute_sets[id];
+        let model = &self.graph.model;
+        let cost = &self.graph.cost;
+
+        // Compiler-inserted exchange for operands resident on other tiles
+        // (scalar broadcasts and the like).
+        let mut bcast: Vec<BlockCopy> = Vec::new();
+        for v in &cs.vertices {
+            for op in &v.operands {
+                let t = &self.graph.tensors[op.tensor];
+                let end = op.start + op.len;
+                let mut i = op.start;
+                while i < end {
+                    let chunk = t.chunk_of(i).expect("slice validated at compile time");
+                    let stop = chunk.end().min(end);
+                    if chunk.tile != v.tile {
+                        bcast.push(BlockCopy {
+                            src_tile: chunk.tile,
+                            dst_tile: v.tile,
+                            bytes: (stop - i) * t.dtype.size_bytes(),
+                            src_key: key_of(op.tensor, chunk.start, 0),
+                        });
+                    }
+                    i = stop;
+                }
+            }
+        }
+        if !bcast.is_empty() {
+            let cycles = ExchangeProgram::new(bcast).cycles(model, cost);
+            self.stats.record_exchange(cycles);
+        }
+
+        // BSP sync before the compute set.
+        let tiles = cs.tiles();
+        let multi_chip = tiles
+            .first()
+            .map(|&f| tiles.iter().any(|&t| !model.same_chip(f, t)))
+            .unwrap_or(false);
+        self.stats.record_sync(if multi_chip {
+            cost.sync_inter_ipu_cycles
+        } else {
+            cost.sync_on_chip_cycles
+        });
+
+        // Run the vertices, accumulating per-tile cycles.
+        let mut per_tile: HashMap<TileId, u64> = HashMap::new();
+        for v in &cs.vertices {
+            let cycles = self.run_vertex(v);
+            *per_tile.entry(v.tile).or_insert(0) += cycles;
+        }
+        self.stats.record_compute(per_tile);
+    }
+
+    fn run_vertex(&mut self, v: &crate::compute::Vertex) -> u64 {
+        let codelet = &self.graph.codelets[v.codelet];
+        let cost = &self.graph.cost;
+        let workers = self.graph.model.workers_per_tile as u64;
+        let mut params = build_params(self.storage, &v.operands);
+        match &v.kind {
+            VertexKind::Simple => {
+                let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
+                interp.run(&codelet.body)
+            }
+            VertexKind::LevelSet { levels } => {
+                let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
+                let mut row_cost: HashMap<usize, u64> = HashMap::new();
+                for level in levels {
+                    for &row in level {
+                        interp.locals[0] = Value::I32(row as i32);
+                        let before = interp.cycles;
+                        interp.run(&codelet.body);
+                        row_cost.insert(row, interp.cycles - before);
+                    }
+                }
+                let schedule = ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
+                    row_cost[&i]
+                });
+                schedule.cycles(|i| row_cost[&i], cost)
+            }
+        }
+    }
+
+    fn exchange(&mut self, ex: &ExchangeStep) {
+        let model = &self.graph.model;
+        let cost = &self.graph.cost;
+        // Cost first (reads tensor defs only).
+        let copies: Vec<BlockCopy> = ex
+            .copies
+            .iter()
+            .map(|c| {
+                let s = &self.graph.tensors[c.src];
+                let d = &self.graph.tensors[c.dst];
+                BlockCopy {
+                    src_tile: s.tile_of(c.src_start).expect("validated"),
+                    dst_tile: d.tile_of(c.dst_start).expect("validated"),
+                    bytes: c.len * s.dtype.size_bytes(),
+                    src_key: key_of(c.src, c.src_start, c.len),
+                }
+            })
+            .collect();
+        self.stats.record_sync(cost.sync_on_chip_cycles);
+        let cycles = ExchangeProgram::new(copies).cycles(model, cost);
+        self.stats.record_exchange(cycles);
+        // Then the data movement.
+        for c in &ex.copies {
+            apply_copy(self.storage, c);
+        }
+    }
+
+    fn copy(&mut self, src: TensorId, dst: TensorId) {
+        let def = &self.graph.tensors[src];
+        let cost = &self.graph.cost;
+        let workers = self.graph.model.workers_per_tile as u64;
+        let move_cost = cost.op_cycles(Op::Load, def.dtype) + cost.op_cycles(Op::Store, def.dtype);
+        let per_tile: Vec<(TileId, u64)> = def
+            .chunks
+            .iter()
+            .map(|c| {
+                (c.tile, cost.worker_spawn_cycles + (c.total as u64 * move_cost).div_ceil(workers))
+            })
+            .collect();
+        self.stats.record_compute(per_tile);
+        if src != dst {
+            let (a, b) = index_two(self.storage, src, dst);
+            copy_all(a, b);
+        }
+    }
+}
+
+fn key_of(tensor: TensorId, start: usize, len: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (tensor, start, len).hash(&mut h);
+    h.finish()
+}
+
+/// Hand out one (mutable) slice per operand.
+///
+/// Soundness: graph compilation rejects any pair of overlapping operands
+/// within a vertex, so the produced slices are pairwise disjoint; the raw
+/// base pointer of each tensor's storage is taken once.
+fn build_params<'a>(storage: &'a mut [Storage], operands: &[TensorSlice]) -> Vec<ParamData<'a>> {
+    enum Base {
+        F32(*mut f32),
+        I32(*mut i32),
+        Bool(*mut bool),
+        Dw(*mut TwoF32),
+        F64(*mut SoftDouble),
+    }
+    let mut bases: HashMap<TensorId, Base> = HashMap::new();
+    for op in operands {
+        bases.entry(op.tensor).or_insert_with(|| match &mut storage[op.tensor] {
+            Storage::F32(v) => Base::F32(v.as_mut_ptr()),
+            Storage::I32(v) => Base::I32(v.as_mut_ptr()),
+            Storage::Bool(v) => Base::Bool(v.as_mut_ptr()),
+            Storage::Dw(v) => Base::Dw(v.as_mut_ptr()),
+            Storage::F64(v) => Base::F64(v.as_mut_ptr()),
+        });
+    }
+    operands
+        .iter()
+        .map(|op| {
+            // SAFETY: slices validated in-bounds at compile time; operands
+            // pairwise disjoint; base pointers taken once per tensor above.
+            unsafe {
+                match bases[&op.tensor] {
+                    Base::F32(p) => ParamData::F32(std::slice::from_raw_parts_mut(
+                        p.add(op.start),
+                        op.len,
+                    )),
+                    Base::I32(p) => ParamData::I32(std::slice::from_raw_parts_mut(
+                        p.add(op.start),
+                        op.len,
+                    )),
+                    Base::Bool(p) => ParamData::Bool(std::slice::from_raw_parts_mut(
+                        p.add(op.start),
+                        op.len,
+                    )),
+                    Base::Dw(p) => {
+                        ParamData::Dw(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    }
+                    Base::F64(p) => {
+                        ParamData::F64(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn index_two(storage: &mut [Storage], a: usize, b: usize) -> (&mut Storage, &mut Storage) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = storage.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = storage.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+fn copy_all(src: &Storage, dst: &mut Storage) {
+    match (src, dst) {
+        (Storage::F32(s), Storage::F32(d)) => d.copy_from_slice(s),
+        (Storage::I32(s), Storage::I32(d)) => d.copy_from_slice(s),
+        (Storage::Bool(s), Storage::Bool(d)) => d.copy_from_slice(s),
+        (Storage::Dw(s), Storage::Dw(d)) => d.copy_from_slice(s),
+        (Storage::F64(s), Storage::F64(d)) => d.copy_from_slice(s),
+        _ => unreachable!("copy dtypes validated at compile time"),
+    }
+}
+
+fn apply_copy(storage: &mut [Storage], c: &ElemCopy) {
+    if c.src == c.dst {
+        match &mut storage[c.src] {
+            Storage::F32(v) => v.copy_within(c.src_start..c.src_start + c.len, c.dst_start),
+            Storage::I32(v) => v.copy_within(c.src_start..c.src_start + c.len, c.dst_start),
+            Storage::Bool(v) => v.copy_within(c.src_start..c.src_start + c.len, c.dst_start),
+            Storage::Dw(v) => v.copy_within(c.src_start..c.src_start + c.len, c.dst_start),
+            Storage::F64(v) => v.copy_within(c.src_start..c.src_start + c.len, c.dst_start),
+        }
+        return;
+    }
+    let (s, d) = index_two(storage, c.src, c.dst);
+    match (s, d) {
+        (Storage::F32(s), Storage::F32(d)) => {
+            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
+        }
+        (Storage::I32(s), Storage::I32(d)) => {
+            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
+        }
+        (Storage::Bool(s), Storage::Bool(d)) => {
+            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
+        }
+        (Storage::Dw(s), Storage::Dw(d)) => {
+            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
+        }
+        (Storage::F64(s), Storage::F64(d)) => {
+            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
+        }
+        _ => unreachable!("exchange dtypes validated at compile time"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{BinOp, Codelet, Expr, ParamDecl, Stmt};
+    use crate::compute::{ComputeSet, Vertex};
+    use crate::tensor::TensorDef;
+    use ipu_sim::clock::Phase;
+    use ipu_sim::model::IpuModel;
+
+    /// Build a two-tile graph that doubles a distributed tensor in place.
+    fn double_in_place() -> (Executable, TensorId) {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let x = g.add_tensor(TensorDef::linear("x", DType::F32, 8, 2)).unwrap();
+        let c = g
+            .add_codelet(Codelet {
+                name: "double".into(),
+                params: vec![ParamDecl { dtype: DType::F32, mutable: true }],
+                num_locals: 1,
+                body: vec![Stmt::ParFor {
+                    local: 0,
+                    start: Expr::c(Value::I32(0)),
+                    end: Expr::ParamLen(0),
+                    body: vec![Stmt::Store {
+                        param: 0,
+                        index: Expr::Local(0),
+                        value: Expr::bin(
+                            BinOp::Mul,
+                            Expr::index(0, Expr::Local(0)),
+                            Expr::c(Value::F32(2.0)),
+                        ),
+                    }],
+                }],
+            })
+            .unwrap();
+        let mut cs = ComputeSet::new("double");
+        for tile in 0..2 {
+            cs.add(Vertex {
+                tile,
+                codelet: c,
+                operands: vec![TensorSlice { tensor: x, start: tile * 4, len: 4 }],
+                kind: VertexKind::Simple,
+            });
+        }
+        let cs = g.add_compute_set(cs).unwrap();
+        (g.compile(Prog::Execute(cs)).unwrap(), x)
+    }
+
+    #[test]
+    fn execute_runs_and_costs() {
+        let (exec, x) = double_in_place();
+        let mut e = Engine::new(exec);
+        e.write_tensor(x, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        e.run();
+        assert_eq!(e.read_tensor(x), vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        assert!(e.stats().device_cycles() > 0);
+        assert!(e.stats().phase_cycles(Phase::Compute) > 0);
+        assert!(e.stats().phase_cycles(Phase::Sync) > 0);
+        // Balanced tiles: BSP max equals each tile's busy time.
+        assert_eq!(e.stats().tile_busy(0), e.stats().tile_busy(1));
+    }
+
+    #[test]
+    fn repeat_multiplies_work() {
+        let (exec, x) = double_in_place();
+        let prog = Prog::Repeat(3, Box::new(exec.program.clone()));
+        let exec3 = Executable { graph: exec.graph.clone(), program: prog };
+        let mut e = Engine::new(exec3);
+        e.write_tensor(x, &[1.0; 8]);
+        e.run();
+        assert_eq!(e.read_tensor(x), vec![8.0; 8]);
+    }
+
+    #[test]
+    fn remote_scalar_operand_costs_exchange() {
+        // A vertex on tile 1 reading a scalar on tile 0 must pay for the
+        // broadcast.
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let s = g.add_scalar("alpha", DType::F32).unwrap();
+        let y = g.add_tensor(TensorDef::on_tile("y", DType::F32, 4, 1)).unwrap();
+        let c = g
+            .add_codelet(Codelet {
+                name: "fill".into(),
+                params: vec![
+                    ParamDecl { dtype: DType::F32, mutable: false },
+                    ParamDecl { dtype: DType::F32, mutable: true },
+                ],
+                num_locals: 1,
+                body: vec![Stmt::For {
+                    local: 0,
+                    start: Expr::c(Value::I32(0)),
+                    end: Expr::ParamLen(1),
+                    step: Expr::c(Value::I32(1)),
+                    body: vec![Stmt::Store {
+                        param: 1,
+                        index: Expr::Local(0),
+                        value: Expr::index(0, Expr::c(Value::I32(0))),
+                    }],
+                }],
+            })
+            .unwrap();
+        let mut cs = ComputeSet::new("fill");
+        cs.add(Vertex {
+            tile: 1,
+            codelet: c,
+            operands: vec![TensorSlice::whole(s, 1), TensorSlice::whole(y, 4)],
+            kind: VertexKind::Simple,
+        });
+        let cs = g.add_compute_set(cs).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
+        e.write_scalar(s, 7.5);
+        e.run();
+        assert_eq!(e.read_tensor(y), vec![7.5; 4]);
+        assert!(e.stats().phase_cycles(Phase::Exchange) > 0, "broadcast not costed");
+    }
+
+    #[test]
+    fn exchange_moves_data_between_tiles() {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::F32, 4, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::F32, 4, 1)).unwrap();
+        let ex = ExchangeStep {
+            name: "halo".into(),
+            copies: vec![ElemCopy { src: a, src_start: 1, dst: b, dst_start: 0, len: 3 }],
+        };
+        let mut e = Engine::new(g.compile(Prog::Exchange(ex)).unwrap());
+        e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0]);
+        e.run();
+        assert_eq!(e.read_tensor(b), vec![2.0, 3.0, 4.0, 0.0]);
+        assert!(e.stats().phase_cycles(Phase::Exchange) > 0);
+    }
+
+    #[test]
+    fn exchange_within_one_tensor() {
+        // The §IV layout: separator values copied into halo slots of the
+        // same distributed tensor.
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let x = g
+            .add_tensor(TensorDef {
+                name: "x".into(),
+                dtype: DType::F32,
+                chunks: vec![
+                    crate::tensor::TensorChunk { tile: 0, start: 0, owned: 3, total: 4 },
+                    crate::tensor::TensorChunk { tile: 1, start: 4, owned: 3, total: 4 },
+                ],
+            })
+            .unwrap();
+        // Tile 0's last owned element -> tile 1's halo slot, and vice versa.
+        let ex = ExchangeStep {
+            name: "halo".into(),
+            copies: vec![
+                ElemCopy { src: x, src_start: 2, dst: x, dst_start: 7, len: 1 },
+                ElemCopy { src: x, src_start: 4, dst: x, dst_start: 3, len: 1 },
+            ],
+        };
+        let mut e = Engine::new(g.compile(Prog::Exchange(ex)).unwrap());
+        e.write_tensor(x, &[10.0, 11.0, 12.0, 0.0, 20.0, 21.0, 22.0, 0.0]);
+        e.run();
+        assert_eq!(e.read_tensor(x), vec![10.0, 11.0, 12.0, 20.0, 20.0, 21.0, 22.0, 12.0]);
+    }
+
+    #[test]
+    fn while_loop_terminates_on_predicate() {
+        // Counter decrements from 3; predicate codelet sets pred = counter > 0.
+        let mut g = Graph::new(IpuModel::tiny(1));
+        let counter = g.add_scalar("counter", DType::I32).unwrap();
+        let pred = g.add_scalar("pred", DType::Bool).unwrap();
+        let dec = g
+            .add_codelet(Codelet {
+                name: "dec".into(),
+                params: vec![ParamDecl { dtype: DType::I32, mutable: true }],
+                num_locals: 0,
+                body: vec![Stmt::Store {
+                    param: 0,
+                    index: Expr::c(Value::I32(0)),
+                    value: Expr::bin(
+                        BinOp::Sub,
+                        Expr::index(0, Expr::c(Value::I32(0))),
+                        Expr::c(Value::I32(1)),
+                    ),
+                }],
+            })
+            .unwrap();
+        let test = g
+            .add_codelet(Codelet {
+                name: "test".into(),
+                params: vec![
+                    ParamDecl { dtype: DType::I32, mutable: false },
+                    ParamDecl { dtype: DType::Bool, mutable: true },
+                ],
+                num_locals: 0,
+                body: vec![Stmt::Store {
+                    param: 1,
+                    index: Expr::c(Value::I32(0)),
+                    value: Expr::bin(
+                        BinOp::Gt,
+                        Expr::index(0, Expr::c(Value::I32(0))),
+                        Expr::c(Value::I32(0)),
+                    ),
+                }],
+            })
+            .unwrap();
+        let mut cs_dec = ComputeSet::new("dec");
+        cs_dec.add(Vertex {
+            tile: 0,
+            codelet: dec,
+            operands: vec![TensorSlice::whole(counter, 1)],
+            kind: VertexKind::Simple,
+        });
+        let cs_dec = g.add_compute_set(cs_dec).unwrap();
+        let mut cs_test = ComputeSet::new("test");
+        cs_test.add(Vertex {
+            tile: 0,
+            codelet: test,
+            operands: vec![TensorSlice::whole(counter, 1), TensorSlice::whole(pred, 1)],
+            kind: VertexKind::Simple,
+        });
+        let cs_test = g.add_compute_set(cs_test).unwrap();
+        let prog = Prog::While {
+            cond: Box::new(Prog::Execute(cs_test)),
+            pred,
+            body: Box::new(Prog::Execute(cs_dec)),
+        };
+        let mut e = Engine::new(g.compile(prog).unwrap());
+        e.write_scalar(counter, 3.0);
+        e.run();
+        assert_eq!(e.read_scalar(counter), 0.0);
+    }
+
+    #[test]
+    fn labels_attribute_cycles() {
+        let (exec, _) = double_in_place();
+        let prog = Prog::Label("phase_a".into(), Box::new(exec.program.clone()));
+        let mut e = Engine::new(Executable { graph: exec.graph.clone(), program: prog });
+        e.run();
+        assert_eq!(e.stats().label_cycles("phase_a"), e.stats().device_cycles());
+    }
+
+    #[test]
+    fn callback_reads_and_writes() {
+        let mut g = Graph::new(IpuModel::tiny(1));
+        let x = g.add_tensor(TensorDef::on_tile("x", DType::F32, 2, 0)).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Callback(9)).unwrap());
+        e.register_callback(
+            9,
+            Box::new(move |view| {
+                let v = view.read_f64(0);
+                view.write_f64(0, &[v[0] + 1.0, v[1] * 2.0]);
+            }),
+        );
+        e.write_tensor(x, &[10.0, 10.0]);
+        e.run();
+        assert_eq!(e.read_tensor(x), vec![11.0, 20.0]);
+    }
+
+    #[test]
+    fn copy_between_identically_mapped_tensors() {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let a = g.add_tensor(TensorDef::linear("a", DType::F32, 6, 2)).unwrap();
+        let b = g.add_tensor(TensorDef::linear("b", DType::F32, 6, 2)).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Copy { src: a, dst: b }).unwrap());
+        e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        e.run();
+        assert_eq!(e.read_tensor(b), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(e.stats().phase_cycles(Phase::Compute) > 0);
+    }
+
+    #[test]
+    fn nested_control_flow_repeat_in_while() {
+        // while (n > 0) { repeat(2) { n -= 1; sum += 1 } } with n = 5:
+        // the body overshoots to n = -1, sum = 6.
+        let mut g = Graph::new(IpuModel::tiny(1));
+        let n = g.add_scalar("n", DType::I32).unwrap();
+        let sum = g.add_scalar("sum", DType::I32).unwrap();
+        let pred = g.add_scalar("pred", DType::Bool).unwrap();
+        let step = g
+            .add_codelet(Codelet {
+                name: "step".into(),
+                params: vec![
+                    ParamDecl { dtype: DType::I32, mutable: true },
+                    ParamDecl { dtype: DType::I32, mutable: true },
+                ],
+                num_locals: 0,
+                body: vec![
+                    Stmt::Store {
+                        param: 0,
+                        index: Expr::c(Value::I32(0)),
+                        value: Expr::bin(
+                            BinOp::Sub,
+                            Expr::index(0, Expr::c(Value::I32(0))),
+                            Expr::c(Value::I32(1)),
+                        ),
+                    },
+                    Stmt::Store {
+                        param: 1,
+                        index: Expr::c(Value::I32(0)),
+                        value: Expr::bin(
+                            BinOp::Add,
+                            Expr::index(1, Expr::c(Value::I32(0))),
+                            Expr::c(Value::I32(1)),
+                        ),
+                    },
+                ],
+            })
+            .unwrap();
+        let test = g
+            .add_codelet(Codelet {
+                name: "test".into(),
+                params: vec![
+                    ParamDecl { dtype: DType::I32, mutable: false },
+                    ParamDecl { dtype: DType::Bool, mutable: true },
+                ],
+                num_locals: 0,
+                body: vec![Stmt::Store {
+                    param: 1,
+                    index: Expr::c(Value::I32(0)),
+                    value: Expr::bin(
+                        BinOp::Gt,
+                        Expr::index(0, Expr::c(Value::I32(0))),
+                        Expr::c(Value::I32(0)),
+                    ),
+                }],
+            })
+            .unwrap();
+        let mut cs_step = ComputeSet::new("step");
+        cs_step.add(Vertex {
+            tile: 0,
+            codelet: step,
+            operands: vec![TensorSlice::whole(n, 1), TensorSlice::whole(sum, 1)],
+            kind: VertexKind::Simple,
+        });
+        let cs_step = g.add_compute_set(cs_step).unwrap();
+        let mut cs_test = ComputeSet::new("test");
+        cs_test.add(Vertex {
+            tile: 0,
+            codelet: test,
+            operands: vec![TensorSlice::whole(n, 1), TensorSlice::whole(pred, 1)],
+            kind: VertexKind::Simple,
+        });
+        let cs_test = g.add_compute_set(cs_test).unwrap();
+        let prog = Prog::While {
+            cond: Box::new(Prog::Execute(cs_test)),
+            pred,
+            body: Box::new(Prog::Repeat(2, Box::new(Prog::Execute(cs_step)))),
+        };
+        let mut e = Engine::new(g.compile(prog).unwrap());
+        e.write_scalar(n, 5.0);
+        e.run();
+        assert_eq!(e.read_scalar(n), -1.0);
+        assert_eq!(e.read_scalar(sum), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_tensor_length_checked() {
+        let mut g = Graph::new(IpuModel::tiny(1));
+        let x = g.add_tensor(TensorDef::on_tile("x", DType::F32, 4, 0)).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Nop).unwrap());
+        e.write_tensor(x, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn exchange_of_double_word_preserves_pairs() {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::DoubleWord, 2, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::DoubleWord, 2, 1)).unwrap();
+        let ex = ExchangeStep {
+            name: "dw".into(),
+            copies: vec![ElemCopy { src: a, src_start: 0, dst: b, dst_start: 0, len: 2 }],
+        };
+        let mut e = Engine::new(g.compile(Prog::Exchange(ex)).unwrap());
+        e.write_tensor(a, &[1.0 + 1e-9, -2.5]);
+        e.run();
+        let got = e.read_tensor(b);
+        assert!((got[0] - (1.0 + 1e-9)).abs() < 1e-15, "{}", got[0]);
+        assert_eq!(got[1], -2.5);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs_and_reset() {
+        let (exec, _) = double_in_place();
+        let mut e = Engine::new(exec);
+        e.run();
+        let one = e.stats().device_cycles();
+        e.run();
+        assert_eq!(e.stats().device_cycles(), 2 * one);
+        e.reset_stats();
+        assert_eq!(e.stats().device_cycles(), 0);
+        e.run();
+        assert_eq!(e.stats().device_cycles(), one);
+    }
+
+    #[test]
+    fn elapsed_seconds_matches_clock() {
+        let (exec, _) = double_in_place();
+        let hz = exec.graph.model.clock_hz;
+        let mut e = Engine::new(exec);
+        e.run();
+        let want = e.stats().device_cycles() as f64 / hz;
+        assert!((e.elapsed_seconds() - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn level_set_vertex_runs_rows_in_level_order() {
+        // x[row] = (row == 0) ? 1 : x[row-1] + 1 — a chain; levels must
+        // serialise it correctly.
+        let mut g = Graph::new(IpuModel::tiny(1));
+        let x = g.add_tensor(TensorDef::on_tile("x", DType::F32, 5, 0)).unwrap();
+        let c = g
+            .add_codelet(Codelet {
+                name: "chain".into(),
+                params: vec![ParamDecl { dtype: DType::F32, mutable: true }],
+                num_locals: 1,
+                body: vec![Stmt::If {
+                    cond: Expr::bin(BinOp::Eq, Expr::Local(0), Expr::c(Value::I32(0))),
+                    then: vec![Stmt::Store {
+                        param: 0,
+                        index: Expr::Local(0),
+                        value: Expr::c(Value::F32(1.0)),
+                    }],
+                    otherwise: vec![Stmt::Store {
+                        param: 0,
+                        index: Expr::Local(0),
+                        value: Expr::bin(
+                            BinOp::Add,
+                            Expr::index(
+                                0,
+                                Expr::bin(BinOp::Sub, Expr::Local(0), Expr::c(Value::I32(1))),
+                            ),
+                            Expr::c(Value::F32(1.0)),
+                        ),
+                    }],
+                }],
+            })
+            .unwrap();
+        let mut cs = ComputeSet::new("chain");
+        cs.add(Vertex {
+            tile: 0,
+            codelet: c,
+            operands: vec![TensorSlice::whole(x, 5)],
+            kind: VertexKind::LevelSet {
+                levels: (0..5).map(|i| vec![i]).collect(),
+            },
+        });
+        let cs = g.add_compute_set(cs).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
+        e.run();
+        assert_eq!(e.read_tensor(x), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

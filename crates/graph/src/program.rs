@@ -1,0 +1,124 @@
+//! The execution schedule: program steps.
+//!
+//! Poplar's execution schedule is a DAG of program steps — execute a
+//! compute set, copy tensors, control flow, host interaction. TensorDSL's
+//! control-flow stack (paper §III-B) builds values of this type; the
+//! engine walks them.
+
+use crate::compute::ComputeSetId;
+use crate::tensor::TensorId;
+
+/// One elementwise-contiguous copy between tensor regions (same dtype).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElemCopy {
+    pub src: TensorId,
+    pub src_start: usize,
+    pub dst: TensorId,
+    pub dst_start: usize,
+    pub len: usize,
+}
+
+/// An exchange phase: a set of blockwise region copies executed between
+/// supersteps (the halo exchange of §IV, or scalar broadcasts).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExchangeStep {
+    pub name: String,
+    pub copies: Vec<ElemCopy>,
+}
+
+/// A program step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Prog {
+    /// Do nothing.
+    Nop,
+    /// Execute steps in order.
+    Seq(Vec<Prog>),
+    /// Run a compute set (one BSP superstep).
+    Execute(ComputeSetId),
+    /// Run an exchange phase.
+    Exchange(ExchangeStep),
+    /// Whole-tensor copy between identically mapped tensors (on-tile).
+    Copy { src: TensorId, dst: TensorId },
+    /// Fixed-trip-count loop.
+    Repeat(u32, Box<Prog>),
+    /// Branch on a scalar predicate tensor (length-1, read at runtime).
+    If { pred: TensorId, then: Box<Prog>, otherwise: Box<Prog> },
+    /// `loop { cond; if !pred break; body }` — Poplar's RepeatWhileTrue.
+    While { cond: Box<Prog>, pred: TensorId, body: Box<Prog> },
+    /// Attribute the device time of the inner program to a named scope
+    /// (profiler label; powers the Table IV breakdown).
+    Label(String, Box<Prog>),
+    /// Invoke a registered host callback (CPU callback in §III-A: progress
+    /// reporting, data transfer).
+    Callback(usize),
+}
+
+impl Prog {
+    /// Sequence two programs, flattening nested sequences.
+    pub fn then(self, next: Prog) -> Prog {
+        match (self, next) {
+            (Prog::Nop, b) => b,
+            (a, Prog::Nop) => a,
+            (Prog::Seq(mut a), Prog::Seq(b)) => {
+                a.extend(b);
+                Prog::Seq(a)
+            }
+            (Prog::Seq(mut a), b) => {
+                a.push(b);
+                Prog::Seq(a)
+            }
+            (a, Prog::Seq(mut b)) => {
+                b.insert(0, a);
+                Prog::Seq(b)
+            }
+            (a, b) => Prog::Seq(vec![a, b]),
+        }
+    }
+
+    /// Number of leaf steps (for schedule-size diagnostics — the paper's
+    /// compile-time concern in §III-C).
+    pub fn num_steps(&self) -> usize {
+        match self {
+            Prog::Nop => 0,
+            Prog::Seq(v) => v.iter().map(Prog::num_steps).sum(),
+            Prog::Repeat(_, p) | Prog::Label(_, p) => p.num_steps(),
+            Prog::If { then, otherwise, .. } => 1 + then.num_steps() + otherwise.num_steps(),
+            Prog::While { cond, body, .. } => 1 + cond.num_steps() + body.num_steps(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_flattens() {
+        let p = Prog::Execute(0)
+            .then(Prog::Execute(1))
+            .then(Prog::Seq(vec![Prog::Execute(2), Prog::Execute(3)]));
+        match &p {
+            Prog::Seq(v) => assert_eq!(v.len(), 4),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.num_steps(), 4);
+    }
+
+    #[test]
+    fn nop_is_identity() {
+        assert_eq!(Prog::Nop.then(Prog::Execute(1)), Prog::Execute(1));
+        assert_eq!(Prog::Execute(1).then(Prog::Nop), Prog::Execute(1));
+        assert_eq!(Prog::Nop.num_steps(), 0);
+    }
+
+    #[test]
+    fn num_steps_counts_control_flow() {
+        let p = Prog::While {
+            cond: Box::new(Prog::Execute(0)),
+            pred: 0,
+            body: Box::new(Prog::Repeat(10, Box::new(Prog::Execute(1)))),
+        };
+        assert_eq!(p.num_steps(), 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cycle accounting — the simulator's answer to Poplar's profiler.
+//!
+//! Under BSP, device time is the sum over supersteps of
+//! `max_tile(compute) + exchange + sync`. [`CycleStats`] accumulates that
+//! critical path, keeps per-tile busy counters (for utilisation/balance
+//! diagnostics), and attributes device time to nested, named *phases* so
+//! that experiments like the paper's Table IV ("which fraction of solver
+//! time is ILU solve / SpMV / reduce / extended-precision ops") fall out
+//! directly.
+
+use std::collections::HashMap;
+
+use crate::model::TileId;
+
+/// Category of device time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tiles executing codelets.
+    Compute,
+    /// The exchange fabric / IPU-Links moving data.
+    Exchange,
+    /// BSP synchronisation barriers.
+    Sync,
+}
+
+/// Accumulated cycle statistics for one engine execution.
+#[derive(Clone, Debug, Default)]
+pub struct CycleStats {
+    device_cycles: u64,
+    by_phase: [u64; 3],
+    tile_busy: Vec<u64>,
+    /// label -> device cycles attributed while that label was innermost.
+    labels: HashMap<String, u64>,
+    label_stack: Vec<String>,
+    supersteps: u64,
+}
+
+impl CycleStats {
+    pub fn new(num_tiles: usize) -> Self {
+        CycleStats { tile_busy: vec![0; num_tiles], ..Default::default() }
+    }
+
+    /// Enter a named attribution scope (e.g. `"spmv"`, `"ilu_solve"`).
+    pub fn push_label(&mut self, label: impl Into<String>) {
+        self.label_stack.push(label.into());
+    }
+
+    /// Leave the innermost attribution scope.
+    pub fn pop_label(&mut self) {
+        self.label_stack.pop();
+    }
+
+    fn attribute(&mut self, cycles: u64) {
+        if let Some(l) = self.label_stack.last() {
+            *self.labels.entry(l.clone()).or_insert(0) += cycles;
+        }
+    }
+
+    /// Record one compute superstep: `per_tile` holds the busy cycles of
+    /// each participating tile; device time advances by the maximum
+    /// (the BSP makespan).
+    pub fn record_compute(&mut self, per_tile: impl IntoIterator<Item = (TileId, u64)>) {
+        let mut max = 0;
+        for (tile, cycles) in per_tile {
+            self.tile_busy[tile] += cycles;
+            max = max.max(cycles);
+        }
+        self.device_cycles += max;
+        self.by_phase[Phase::Compute as usize] += max;
+        self.attribute(max);
+        self.supersteps += 1;
+    }
+
+    /// Record an exchange phase of `cycles` device time.
+    pub fn record_exchange(&mut self, cycles: u64) {
+        self.device_cycles += cycles;
+        self.by_phase[Phase::Exchange as usize] += cycles;
+        self.attribute(cycles);
+    }
+
+    /// Record a synchronisation barrier of `cycles`.
+    pub fn record_sync(&mut self, cycles: u64) {
+        self.device_cycles += cycles;
+        self.by_phase[Phase::Sync as usize] += cycles;
+        self.attribute(cycles);
+    }
+
+    /// Total device cycles (the BSP critical path).
+    pub fn device_cycles(&self) -> u64 {
+        self.device_cycles
+    }
+
+    /// Device cycles spent in a category.
+    pub fn phase_cycles(&self, phase: Phase) -> u64 {
+        self.by_phase[phase as usize]
+    }
+
+    /// Device cycles attributed to a named scope (0 if never entered).
+    pub fn label_cycles(&self, label: &str) -> u64 {
+        self.labels.get(label).copied().unwrap_or(0)
+    }
+
+    /// All label attributions, sorted descending by cycles.
+    pub fn labels_sorted(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.labels.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Busy cycles of one tile.
+    pub fn tile_busy(&self, tile: TileId) -> u64 {
+        self.tile_busy[tile]
+    }
+
+    /// Mean tile utilisation relative to the compute critical path:
+    /// 1.0 = perfectly balanced.
+    pub fn compute_balance(&self) -> f64 {
+        let compute = self.by_phase[Phase::Compute as usize];
+        if compute == 0 || self.tile_busy.is_empty() {
+            return 1.0;
+        }
+        let mean = self.tile_busy.iter().sum::<u64>() as f64 / self.tile_busy.len() as f64;
+        mean / compute as f64
+    }
+
+    /// Number of compute supersteps recorded.
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps
+    }
+
+    /// Reset all counters, keeping the tile count.
+    pub fn reset(&mut self) {
+        let n = self.tile_busy.len();
+        *self = CycleStats::new(n);
+    }
+
+    /// Merge another stats object into this one (sequential composition).
+    pub fn merge(&mut self, other: &CycleStats) {
+        self.device_cycles += other.device_cycles;
+        for i in 0..3 {
+            self.by_phase[i] += other.by_phase[i];
+        }
+        for (t, c) in other.tile_busy.iter().enumerate() {
+            if t < self.tile_busy.len() {
+                self.tile_busy[t] += c;
+            }
+        }
+        for (k, v) in &other.labels {
+            *self.labels.entry(k.clone()).or_insert(0) += v;
+        }
+        self.supersteps += other.supersteps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_takes_the_max() {
+        let mut s = CycleStats::new(3);
+        s.record_compute([(0, 10), (1, 30), (2, 20)]);
+        assert_eq!(s.device_cycles(), 30);
+        assert_eq!(s.tile_busy(0), 10);
+        assert_eq!(s.tile_busy(1), 30);
+        assert_eq!(s.supersteps(), 1);
+    }
+
+    #[test]
+    fn phases_accumulate_separately() {
+        let mut s = CycleStats::new(2);
+        s.record_compute([(0, 100)]);
+        s.record_exchange(40);
+        s.record_sync(10);
+        assert_eq!(s.device_cycles(), 150);
+        assert_eq!(s.phase_cycles(Phase::Compute), 100);
+        assert_eq!(s.phase_cycles(Phase::Exchange), 40);
+        assert_eq!(s.phase_cycles(Phase::Sync), 10);
+    }
+
+    #[test]
+    fn labels_attribute_innermost() {
+        let mut s = CycleStats::new(1);
+        s.push_label("solver");
+        s.record_compute([(0, 5)]);
+        s.push_label("spmv");
+        s.record_compute([(0, 7)]);
+        s.pop_label();
+        s.record_exchange(3);
+        s.pop_label();
+        s.record_compute([(0, 100)]); // unattributed
+        assert_eq!(s.label_cycles("spmv"), 7);
+        assert_eq!(s.label_cycles("solver"), 8);
+        assert_eq!(s.label_cycles("nope"), 0);
+        let sorted = s.labels_sorted();
+        assert_eq!(sorted[0].0, "solver");
+    }
+
+    #[test]
+    fn balance_reflects_imbalance() {
+        let mut s = CycleStats::new(2);
+        s.record_compute([(0, 100), (1, 0)]);
+        assert!((s.compute_balance() - 0.5).abs() < 1e-9);
+        let mut b = CycleStats::new(2);
+        b.record_compute([(0, 50), (1, 50)]);
+        assert!((b.compute_balance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = CycleStats::new(2);
+        a.push_label("x");
+        a.record_compute([(0, 10)]);
+        a.pop_label();
+        let mut b = CycleStats::new(2);
+        b.push_label("x");
+        b.record_exchange(5);
+        b.pop_label();
+        a.merge(&b);
+        assert_eq!(a.device_cycles(), 15);
+        assert_eq!(a.label_cycles("x"), 15);
+    }
+}

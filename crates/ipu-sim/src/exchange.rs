@@ -1,0 +1,198 @@
+//! The exchange fabric model.
+//!
+//! On the Mk2, tiles on one chip are connected all-to-all by a stateless
+//! fabric; the compiler schedules every transfer cycle-precisely, and all
+//! tiles synchronise before communicating (BSP). Chips are connected by
+//! slower, stateful IPU-Links. This module costs an *exchange phase*: a set
+//! of blockwise region copies executed between two supersteps.
+//!
+//! Two properties of the real fabric matter for the paper's results and are
+//! modelled explicitly:
+//!
+//! 1. **All-to-all, contention-free**: the phase cost is the per-tile
+//!    maximum of send/receive work, *independent of how many tiles
+//!    participate* — which is what produces the paper's flat halo-exchange
+//!    time under weak scaling (Fig 6).
+//! 2. **Broadcast**: a source region consumed by several neighbours is sent
+//!    once and received by each consumer; the sender pays once. The halo
+//!    reordering strategy (§IV) exists to exploit exactly this.
+
+use crate::cost::CostModel;
+use crate::model::{IpuModel, TileId};
+
+/// One blockwise copy of a contiguous region between two tiles.
+///
+/// `src_key` identifies the source region (tensor id + offset, hashed by the
+/// caller); copies sharing a `src_key` within one phase form a broadcast and
+/// charge the sender only once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockCopy {
+    pub src_tile: TileId,
+    pub dst_tile: TileId,
+    pub bytes: usize,
+    pub src_key: u64,
+}
+
+/// An exchange phase: all copies that run between two compute supersteps.
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeProgram {
+    pub copies: Vec<BlockCopy>,
+}
+
+impl ExchangeProgram {
+    pub fn new(copies: Vec<BlockCopy>) -> Self {
+        ExchangeProgram { copies }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// Total bytes received by all tiles (the communication volume).
+    pub fn total_bytes(&self) -> usize {
+        self.copies.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Number of distinct source regions (= number of communication
+    /// instructions the compiler must issue — what the paper's reordering
+    /// minimises).
+    pub fn num_regions(&self) -> usize {
+        let mut keys: Vec<u64> = self.copies.iter().map(|c| c.src_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Device cycles for this exchange phase.
+    ///
+    /// Each tile accumulates send cost (once per distinct source region it
+    /// owns) and receive cost (once per incoming copy); the phase costs the
+    /// per-tile maximum. If any copy crosses a chip boundary the IPU-Link
+    /// latency is added once and the slower link bandwidth applies to those
+    /// copies.
+    pub fn cycles(&self, model: &IpuModel, cm: &CostModel) -> u64 {
+        if self.copies.is_empty() {
+            return 0;
+        }
+        let mut per_tile = vec![0u64; model.num_tiles()];
+        let mut crosses_chip = false;
+        // Track which (tile, src_key) pairs have already paid the send cost.
+        let mut sent: std::collections::HashSet<(TileId, u64)> =
+            std::collections::HashSet::with_capacity(self.copies.len());
+        for c in &self.copies {
+            let on_chip = model.same_chip(c.src_tile, c.dst_tile);
+            crosses_chip |= !on_chip;
+            let cost = if on_chip {
+                cm.on_chip_region_cycles(c.bytes)
+            } else {
+                cm.ipu_link_region_cycles(c.bytes)
+            };
+            // Receiver always pays.
+            per_tile[c.dst_tile] += cost;
+            // Sender pays once per region (broadcast).
+            if sent.insert((c.src_tile, c.src_key)) {
+                per_tile[c.src_tile] += cost;
+            }
+        }
+        let max = per_tile.into_iter().max().unwrap_or(0);
+        max + if crosses_chip { cm.ipu_link_latency_cycles } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IpuModel {
+        IpuModel { num_ipus: 2, tiles_per_ipu: 4, ..IpuModel::mk2() }
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        let p = ExchangeProgram::default();
+        assert_eq!(p.cycles(&model(), &CostModel::default()), 0);
+    }
+
+    #[test]
+    fn broadcast_charges_sender_once() {
+        let cm = CostModel::default();
+        let m = model();
+        // Tile 0 sends the same 400-byte region to tiles 1, 2, 3.
+        let bcast = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 7 },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 7 },
+            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_key: 7 },
+        ]);
+        // Distinct regions to the same destinations: sender pays 3x.
+        let uni = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 1 },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 2 },
+            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_key: 3 },
+        ]);
+        let region = cm.on_chip_region_cycles(400);
+        assert_eq!(bcast.cycles(&m, &cm), region); // sender once, receivers once each, max = region
+        assert_eq!(uni.cycles(&m, &cm), 3 * region); // sender is the bottleneck
+        assert_eq!(bcast.num_regions(), 1);
+        assert_eq!(uni.num_regions(), 3);
+    }
+
+    #[test]
+    fn all_to_all_cost_independent_of_participants() {
+        // 2 tiles exchanging vs 4 tiles pairwise exchanging the same bytes:
+        // identical phase cost (no shared medium contention).
+        let cm = CostModel::default();
+        let m = model();
+        let two = ExchangeProgram::new(vec![BlockCopy {
+            src_tile: 0,
+            dst_tile: 1,
+            bytes: 256,
+            src_key: 1,
+        }]);
+        let four = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 256, src_key: 1 },
+            BlockCopy { src_tile: 2, dst_tile: 3, bytes: 256, src_key: 2 },
+        ]);
+        assert_eq!(two.cycles(&m, &cm), four.cycles(&m, &cm));
+    }
+
+    #[test]
+    fn inter_chip_adds_latency_and_bandwidth() {
+        let cm = CostModel::default();
+        let m = model();
+        let on_chip = ExchangeProgram::new(vec![BlockCopy {
+            src_tile: 0,
+            dst_tile: 3,
+            bytes: 1024,
+            src_key: 1,
+        }]);
+        // Tile 4 is on the second chip.
+        let cross = ExchangeProgram::new(vec![BlockCopy {
+            src_tile: 0,
+            dst_tile: 4,
+            bytes: 1024,
+            src_key: 1,
+        }]);
+        assert!(cross.cycles(&m, &cm) > on_chip.cycles(&m, &cm) + cm.ipu_link_latency_cycles / 2);
+    }
+
+    #[test]
+    fn fewer_regions_cheaper_than_many_small() {
+        // The motivation for the paper's region grouping: one 4000-byte
+        // region beats 100 copies of 40 bytes.
+        let cm = CostModel::default();
+        let m = model();
+        let one = ExchangeProgram::new(vec![BlockCopy {
+            src_tile: 0,
+            dst_tile: 1,
+            bytes: 4000,
+            src_key: 0,
+        }]);
+        let many = ExchangeProgram::new(
+            (0..100)
+                .map(|i| BlockCopy { src_tile: 0, dst_tile: 1, bytes: 40, src_key: i })
+                .collect(),
+        );
+        assert!(one.cycles(&m, &cm) < many.cycles(&m, &cm));
+        assert_eq!(one.total_bytes(), many.total_bytes());
+    }
+}

@@ -1,0 +1,42 @@
+//! # ipu-sim — a cycle-modelled GraphCore Mk2 IPU
+//!
+//! The paper this workspace reproduces runs on real IPU hardware through the
+//! proprietary Poplar SDK. Neither is available here, so this crate builds
+//! the closest synthetic equivalent: a *deterministic functional simulator*
+//! of the machine the paper describes in §II-A —
+//!
+//! * 1,472 **tiles** per chip, each with ~624 kB of private SRAM and
+//!   **six independent worker threads**;
+//! * a stateless, all-to-all on-chip **exchange fabric** with
+//!   compiler-scheduled, cycle-precise transfers;
+//! * stateful **IPU-Links** between chips;
+//! * **Bulk Synchronous Parallel** execution: compute supersteps separated
+//!   by global syncs and exchange phases;
+//! * *no* caches, *no* native double precision.
+//!
+//! The simulator is split into a machine description ([`IpuModel`]), a cycle
+//! cost model ([`cost`]) carrying the paper's Table I arithmetic costs, SRAM
+//! accounting ([`memory`]), the exchange fabric model ([`exchange`]), the
+//! per-tile worker-thread scheduler ([`threading`] — the analogue of the
+//! paper's IPUTHREADING library), and cycle accounting with per-phase
+//! attribution ([`clock`] — the analogue of Poplar's profiler, which is what
+//! the paper's measurements come from).
+//!
+//! Determinism is a feature, not a shortcut: the paper itself notes that
+//! "due to the determinism of the IPU and its constant clock speed, the
+//! execution time is the same for every invocation", and all IPU numbers in
+//! its evaluation are cycle counts from the profiler. This crate reproduces
+//! exactly those observables.
+
+pub mod clock;
+pub mod cost;
+pub mod exchange;
+pub mod memory;
+pub mod model;
+pub mod threading;
+
+pub use clock::{CycleStats, Phase};
+pub use cost::{CostModel, DType, Op};
+pub use exchange::{BlockCopy, ExchangeProgram};
+pub use memory::TileMemory;
+pub use model::{IpuModel, TileId, WorkerId};

@@ -1,0 +1,141 @@
+//! Per-tile SRAM accounting.
+//!
+//! Each Mk2 tile owns ~612 kB of SRAM accessible only by its own core
+//! (§II-A). The graph compiler must therefore prove that every tensor slice
+//! mapped to a tile fits; this module provides the byte ledger it checks
+//! against. There is no cache hierarchy and no spill path — exceeding the
+//! budget is a hard compile error, exactly as on the real device.
+
+use crate::model::{IpuModel, TileId};
+
+/// Error returned when a tile's SRAM budget would be exceeded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfTileMemory {
+    pub tile: TileId,
+    pub requested: usize,
+    pub used: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OutOfTileMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tile {} out of memory: requested {} B with {} B used of {} B",
+            self.tile, self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfTileMemory {}
+
+/// SRAM ledger for every tile in the system.
+#[derive(Clone, Debug)]
+pub struct TileMemory {
+    capacity: usize,
+    used: Vec<usize>,
+}
+
+impl TileMemory {
+    /// Fresh ledger for all tiles of `model`.
+    pub fn new(model: &IpuModel) -> Self {
+        TileMemory {
+            capacity: model.tile_memory_bytes,
+            used: vec![0; model.num_tiles()],
+        }
+    }
+
+    /// Reserve `bytes` on `tile`, failing if the budget would be exceeded.
+    pub fn alloc(&mut self, tile: TileId, bytes: usize) -> Result<(), OutOfTileMemory> {
+        let used = self.used[tile];
+        if used + bytes > self.capacity {
+            return Err(OutOfTileMemory { tile, requested: bytes, used, capacity: self.capacity });
+        }
+        self.used[tile] = used + bytes;
+        Ok(())
+    }
+
+    /// Release `bytes` on `tile` (tensors freed by the graph compiler).
+    pub fn free(&mut self, tile: TileId, bytes: usize) {
+        debug_assert!(self.used[tile] >= bytes, "freeing more than allocated on tile {tile}");
+        self.used[tile] = self.used[tile].saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated on `tile`.
+    pub fn used(&self, tile: TileId) -> usize {
+        self.used[tile]
+    }
+
+    /// Remaining bytes on `tile`.
+    pub fn available(&self, tile: TileId) -> usize {
+        self.capacity - self.used[tile]
+    }
+
+    /// SRAM capacity of each tile.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest utilisation across all tiles, in [0, 1]. Useful for memory
+    /// balance diagnostics in the partitioner.
+    pub fn peak_utilisation(&self) -> f64 {
+        let max = self.used.iter().copied().max().unwrap_or(0);
+        max as f64 / self.capacity as f64
+    }
+
+    /// Total bytes allocated across the system.
+    pub fn total_used(&self) -> usize {
+        self.used.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> TileMemory {
+        TileMemory::new(&IpuModel::tiny(4))
+    }
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut m = mem();
+        m.alloc(0, 1000).unwrap();
+        m.alloc(0, 2000).unwrap();
+        assert_eq!(m.used(0), 3000);
+        m.free(0, 1000);
+        assert_eq!(m.used(0), 2000);
+        assert_eq!(m.used(1), 0);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let mut m = mem();
+        let cap = m.capacity();
+        m.alloc(2, cap).unwrap();
+        let err = m.alloc(2, 1).unwrap_err();
+        assert_eq!(err.tile, 2);
+        assert_eq!(err.used, cap);
+        // Failed alloc must not change the ledger.
+        assert_eq!(m.used(2), cap);
+        assert_eq!(m.available(2), 0);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = mem();
+        let cap = m.capacity();
+        m.alloc(1, cap).unwrap();
+        assert_eq!(m.available(1), 0);
+    }
+
+    #[test]
+    fn peak_utilisation_tracks_worst_tile() {
+        let mut m = mem();
+        let cap = m.capacity();
+        m.alloc(0, cap / 2).unwrap();
+        m.alloc(1, cap / 4).unwrap();
+        assert!((m.peak_utilisation() - 0.5).abs() < 1e-6);
+        assert_eq!(m.total_used(), cap / 2 + cap / 4);
+    }
+}

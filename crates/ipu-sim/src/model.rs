@@ -1,0 +1,147 @@
+//! Machine description: topology and physical parameters of the simulated
+//! IPU system.
+
+/// Index of a tile within the whole (possibly multi-chip) system.
+pub type TileId = usize;
+/// Index of a worker thread within one tile (0..workers_per_tile).
+pub type WorkerId = usize;
+
+/// Static description of an IPU system: one or more Mk2 chips connected by
+/// IPU-Links, as in the paper's IPU-POD16 testbed (§VI-A).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IpuModel {
+    /// Number of IPU chips in the system.
+    pub num_ipus: usize,
+    /// Tiles per chip (1,472 on the Mk2).
+    pub tiles_per_ipu: usize,
+    /// Hardware worker threads per tile (6 on the Mk2; all must be used for
+    /// full utilisation).
+    pub workers_per_tile: usize,
+    /// Private SRAM per tile in bytes (~624 kB on the Mk2; the paper quotes
+    /// "approximately 612 kB" of usable memory, which we adopt).
+    pub tile_memory_bytes: usize,
+    /// Tile clock in Hz (1.325 GHz on the Mk2).
+    pub clock_hz: f64,
+}
+
+impl IpuModel {
+    /// A single Mk2 IPU chip.
+    pub fn mk2() -> Self {
+        IpuModel {
+            num_ipus: 1,
+            tiles_per_ipu: 1472,
+            workers_per_tile: 6,
+            tile_memory_bytes: 612 * 1024,
+            clock_hz: 1.325e9,
+        }
+    }
+
+    /// A GraphCore M2000 machine: four Mk2 IPUs (5,888 tiles) — the unit the
+    /// paper benchmarks against one CPU / one GPU.
+    pub fn m2000() -> Self {
+        IpuModel { num_ipus: 4, ..Self::mk2() }
+    }
+
+    /// An IPU-POD16: four M2000s, sixteen IPUs — the paper's scaling
+    /// testbed.
+    pub fn pod16() -> Self {
+        IpuModel { num_ipus: 16, ..Self::mk2() }
+    }
+
+    /// `n` Mk2 chips.
+    pub fn with_ipus(n: usize) -> Self {
+        assert!(n > 0, "an IPU system needs at least one chip");
+        IpuModel { num_ipus: n, ..Self::mk2() }
+    }
+
+    /// A deliberately tiny system for unit tests: `tiles` tiles on one chip,
+    /// full Mk2 parameters otherwise.
+    pub fn tiny(tiles: usize) -> Self {
+        assert!(tiles > 0);
+        IpuModel { num_ipus: 1, tiles_per_ipu: tiles, ..Self::mk2() }
+    }
+
+    /// Total number of tiles in the system.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.num_ipus * self.tiles_per_ipu
+    }
+
+    /// Total number of worker threads in the system.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.num_tiles() * self.workers_per_tile
+    }
+
+    /// Which chip a tile lives on.
+    #[inline]
+    pub fn ipu_of(&self, tile: TileId) -> usize {
+        debug_assert!(tile < self.num_tiles());
+        tile / self.tiles_per_ipu
+    }
+
+    /// Whether two tiles communicate over the on-chip fabric (same chip) or
+    /// over IPU-Links (different chips).
+    #[inline]
+    pub fn same_chip(&self, a: TileId, b: TileId) -> bool {
+        self.ipu_of(a) == self.ipu_of(b)
+    }
+
+    /// Aggregate SRAM of the whole system in bytes (~900 MB per chip).
+    #[inline]
+    pub fn total_memory_bytes(&self) -> usize {
+        self.num_tiles() * self.tile_memory_bytes
+    }
+
+    /// Convert a cycle count into seconds at the model's clock.
+    #[inline]
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for IpuModel {
+    fn default() -> Self {
+        Self::mk2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mk2_parameters_match_paper() {
+        let m = IpuModel::mk2();
+        assert_eq!(m.num_tiles(), 1472);
+        assert_eq!(m.workers_per_tile, 6);
+        assert_eq!(m.num_workers(), 8832);
+        // ~900 MB per chip
+        let mb = m.total_memory_bytes() as f64 / 1e6;
+        assert!((850.0..950.0).contains(&mb), "total SRAM {mb} MB");
+    }
+
+    #[test]
+    fn m2000_has_5888_tiles() {
+        assert_eq!(IpuModel::m2000().num_tiles(), 5888);
+    }
+
+    #[test]
+    fn pod16_topology() {
+        let m = IpuModel::pod16();
+        assert_eq!(m.num_ipus, 16);
+        assert_eq!(m.ipu_of(0), 0);
+        assert_eq!(m.ipu_of(1471), 0);
+        assert_eq!(m.ipu_of(1472), 1);
+        assert_eq!(m.ipu_of(m.num_tiles() - 1), 15);
+        assert!(m.same_chip(0, 1471));
+        assert!(!m.same_chip(0, 1472));
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let m = IpuModel::mk2();
+        let s = m.cycles_to_seconds(1_325_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! MatrixMarket coordinate-format IO.
+//!
+//! Supports the subset the SuiteSparse collection uses for the paper's
+//! benchmark matrices: `matrix coordinate real {general|symmetric}` and
+//! `pattern` variants (pattern entries get value 1.0). Symmetric files
+//! store only the lower triangle; the reader mirrors it.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::formats::{CooMatrix, CsrMatrix};
+
+/// Error from MatrixMarket parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "io error: {e}"),
+            MmError::Parse(m) => write!(f, "matrix market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a MatrixMarket matrix from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if !h[1].eq_ignore_ascii_case("matrix") || !h[2].eq_ignore_ascii_case("coordinate") {
+        return Err(parse_err("only 'matrix coordinate' is supported"));
+    }
+    let field = h[3].to_ascii_lowercase();
+    if !matches!(field.as_str(), "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field type: {field}")));
+    }
+    let symmetry = h[4].to_ascii_lowercase();
+    let symmetric = match symmetry.as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+    let pattern = field == "pattern";
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size line: {size_line}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::new(nrows, ncols);
+    coo.entries.reserve(if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry: {t}")))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry: {t}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(format!("bad entry: {t}")))?
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(format!("entry out of bounds: {t}")));
+        }
+        // MatrixMarket is 1-based.
+        coo.push(r - 1, c - 1, v);
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a MatrixMarket file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a matrix in `matrix coordinate real general` format.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &CsrMatrix) -> io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by graphene-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows, a.ncols, a.nnz())?;
+    for i in 0..a.nrows {
+        let (cols, vals) = a.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", i + 1, *c as usize + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 2, -1.25);
+        coo.push(2, 1, 7.0);
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_mirrors_lower_triangle() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 3\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n\
+                    2 2 4.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn pattern_entries_are_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = crate::gen::poisson_2d_5pt(6, 5, 1.0);
+        let path = std::env::temp_dir().join("graphene_sparse_io_test.mtx");
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            write_matrix_market(&mut f, &a).unwrap();
+        }
+        let b = read_matrix_market_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_matrix_market_file("/nonexistent/graphene.mtx") {
+            Err(MmError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_count_mismatch() {
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+}

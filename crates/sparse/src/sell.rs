@@ -1,0 +1,178 @@
+//! The Sliced ELLPACK (SELL) format — the paper's §II-C "future work".
+//!
+//! SELL groups rows into slices of height `C`; within a slice every row is
+//! padded to the slice's maximum length and entries are stored
+//! column-major, which vectorises beautifully on wide-SIMD machines. The
+//! paper *anticipates* the gains to be small on IPUs — two-wide vector
+//! units, no caches, single-cycle branches — and leaves the exploration to
+//! future work. This module implements the format (host side) so the
+//! hypothesis can actually be tested: `cargo run -p graphene-bench --bin
+//! ablations` includes a CSR-vs-SELL codelet comparison on the simulated
+//! device.
+
+use crate::formats::CsrMatrix;
+
+/// A Sliced ELLPACK matrix with slice height `C`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SellMatrix {
+    pub nrows: usize,
+    pub ncols: usize,
+    /// Slice height (rows per slice).
+    pub c: usize,
+    /// Per-slice row width (the longest row in the slice).
+    pub slice_width: Vec<usize>,
+    /// Start of each slice's data in `vals`/`cols`: `slice_ptr[s] ..
+    /// slice_ptr[s] + c * slice_width[s]`, column-major within the slice.
+    pub slice_ptr: Vec<usize>,
+    /// Padded values (0.0 in padding).
+    pub vals: Vec<f64>,
+    /// Padded column indices (repeat of the row's own index in padding, so
+    /// gathers stay in-bounds and padding contributes `0.0 * x[i]`).
+    pub cols: Vec<u32>,
+}
+
+impl SellMatrix {
+    /// Convert from CSR with slice height `c`.
+    pub fn from_csr(a: &CsrMatrix, c: usize) -> SellMatrix {
+        assert!(c > 0);
+        let nslices = a.nrows.div_ceil(c);
+        let mut slice_width = Vec::with_capacity(nslices);
+        let mut slice_ptr = Vec::with_capacity(nslices + 1);
+        slice_ptr.push(0);
+        let mut vals = Vec::new();
+        let mut cols = Vec::new();
+        for s in 0..nslices {
+            let lo = s * c;
+            let hi = ((s + 1) * c).min(a.nrows);
+            let width = (lo..hi).map(|i| a.row_nnz(i)).max().unwrap_or(0);
+            slice_width.push(width);
+            // Column-major: entry k of every row in the slice, row-padded.
+            for k in 0..width {
+                for i in lo..lo + c {
+                    if i < a.nrows && k < a.row_nnz(i) {
+                        let (rc, rv) = a.row(i);
+                        cols.push(rc[k]);
+                        vals.push(rv[k]);
+                    } else {
+                        // Padding: contributes 0 * x[row] (in-bounds).
+                        cols.push(i.min(a.nrows.saturating_sub(1)) as u32);
+                        vals.push(0.0);
+                    }
+                }
+            }
+            slice_ptr.push(vals.len());
+        }
+        SellMatrix { nrows: a.nrows, ncols: a.ncols, c, slice_width, slice_ptr, vals, cols }
+    }
+
+    /// Stored entries including padding.
+    pub fn padded_nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Padding overhead: padded / real nnz.
+    pub fn padding_ratio(&self, real_nnz: usize) -> f64 {
+        self.padded_nnz() as f64 / real_nnz.max(1) as f64
+    }
+
+    /// Reference SpMV `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.fill(0.0);
+        for s in 0..self.slice_width.len() {
+            let lo = s * self.c;
+            let base = self.slice_ptr[s];
+            let width = self.slice_width[s];
+            for k in 0..width {
+                for r in 0..self.c {
+                    let i = lo + r;
+                    if i >= self.nrows {
+                        continue;
+                    }
+                    let idx = base + k * self.c + r;
+                    y[i] += self.vals[idx] * x[self.cols[idx] as usize];
+                }
+            }
+        }
+    }
+
+    /// Device memory footprint in bytes (f32 values, u32 indices, u32
+    /// slice metadata) — compare with `ModifiedCsr::device_bytes`.
+    pub fn device_bytes(&self) -> usize {
+        4 * self.vals.len() + 4 * self.cols.len() + 4 * (self.slice_width.len() * 2 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{poisson_2d_5pt, random_spd, tridiagonal};
+
+    #[test]
+    fn sell_spmv_matches_csr() {
+        for (a, c) in [
+            (poisson_2d_5pt(7, 9, 1.0), 4),
+            (random_spd(37, 8, 3), 6),
+            (tridiagonal(20), 7),
+        ] {
+            let sell = SellMatrix::from_csr(&a, c);
+            let x: Vec<f64> = (0..a.ncols).map(|i| (i as f64 * 0.29).sin()).collect();
+            let mut y1 = vec![0.0; a.nrows];
+            let mut y2 = vec![0.0; a.nrows];
+            a.spmv(&x, &mut y1);
+            sell.spmv(&x, &mut y2);
+            for (g, w) in y2.iter().zip(&y1) {
+                assert!((g - w).abs() < 1e-12, "c={c}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rows_have_no_padding() {
+        // A matrix where every row has the same nnz pads nothing.
+        let a = tridiagonal(12);
+        // Interior rows have 3 entries, the two end rows 2 — slice of the
+        // whole matrix pads 2 entries.
+        let sell = SellMatrix::from_csr(&a, 12);
+        assert_eq!(sell.padded_nnz(), a.nnz() + 2);
+        // Slice height 1 == ELLPACK-per-row == no padding at all.
+        let sell1 = SellMatrix::from_csr(&a, 1);
+        assert_eq!(sell1.padded_nnz(), a.nnz());
+    }
+
+    #[test]
+    fn skewed_rows_pad_heavily_with_tall_slices() {
+        // One dense row in an otherwise diagonal matrix.
+        let mut coo = crate::formats::CooMatrix::new(32, 32);
+        for i in 0..32 {
+            coo.push(i, i, 1.0);
+        }
+        for j in 0..31 {
+            coo.push(0, j + 1, 0.5);
+        }
+        let a = coo.to_csr();
+        let tall = SellMatrix::from_csr(&a, 32);
+        let short = SellMatrix::from_csr(&a, 2);
+        assert!(tall.padding_ratio(a.nnz()) > 10.0);
+        assert!(short.padding_ratio(a.nnz()) < 2.0);
+        // Both still compute correctly.
+        let x = vec![1.0; 32];
+        let mut y = vec![0.0; 32];
+        tall.spmv(&x, &mut y);
+        assert!((y[0] - (1.0 + 31.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_last_slice() {
+        let a = poisson_2d_5pt(5, 5, 1.0); // 25 rows, c=4 -> 7 slices
+        let sell = SellMatrix::from_csr(&a, 4);
+        assert_eq!(sell.slice_width.len(), 7);
+        let x: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let mut y1 = vec![0.0; 25];
+        let mut y2 = vec![0.0; 25];
+        a.spmv(&x, &mut y1);
+        sell.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+}

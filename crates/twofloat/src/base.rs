@@ -1,0 +1,172 @@
+//! The base-float abstraction the double-word algorithms are generic over.
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A machine floating-point type usable as one word of a double-word number.
+///
+/// All constants required by the error-free transformations (the Dekker
+/// splitter, precision, epsilon) are associated constants, so they are
+/// resolved at compile time for any base type — mirroring the TWOFLOAT C++
+/// library's `constexpr` constant derivation.
+pub trait FloatBase:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of bits in the significand, including the implicit bit
+    /// (24 for `f32`, 53 for `f64`).
+    const MANTISSA_DIGITS: u32;
+    /// Machine epsilon (distance from 1.0 to the next representable value).
+    const EPSILON: Self;
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+    /// Dekker's splitter: `2^ceil(p/2) + 1`. Used by the FMA-free
+    /// `two_prod` fallback.
+    const SPLITTER: Self;
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * b + c`, rounded once.
+    fn fma(self, b: Self, c: Self) -> Self;
+    fn is_finite(self) -> bool;
+    fn is_nan(self) -> bool;
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+    fn max(self, other: Self) -> Self;
+    fn min(self, other: Self) -> Self;
+}
+
+impl FloatBase for f32 {
+    const MANTISSA_DIGITS: u32 = 24;
+    const EPSILON: Self = f32::EPSILON;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    // 2^12 + 1
+    const SPLITTER: Self = 4097.0;
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn fma(self, b: Self, c: Self) -> Self {
+        f32::mul_add(self, b, c)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+}
+
+impl FloatBase for f64 {
+    const MANTISSA_DIGITS: u32 = 53;
+    const EPSILON: Self = f64::EPSILON;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    // 2^27 + 1
+    const SPLITTER: Self = 134_217_729.0;
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn fma(self, b: Self, c: Self) -> Self {
+        f64::mul_add(self, b, c)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_matches_formula() {
+        // splitter = 2^ceil(p/2) + 1
+        assert_eq!(f32::SPLITTER, (1u32 << 12) as f32 + 1.0);
+        assert_eq!(f64::SPLITTER, (1u64 << 27) as f64 + 1.0);
+    }
+
+    #[test]
+    fn fma_is_single_rounding() {
+        // (1 + eps) * (1 + eps) = 1 + 2eps + eps^2; plain mul loses eps^2,
+        // fma with c = -(1 + 2eps) recovers it.
+        let a = 1.0f32 + f32::EPSILON;
+        let exact_lost = a.fma(a, -(1.0 + 2.0 * f32::EPSILON));
+        assert_eq!(exact_lost, f32::EPSILON * f32::EPSILON);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = 1.234567890123_f64;
+        assert_eq!(f64::from_f64(v).to_f64(), v);
+        assert_eq!((v as f32).to_f64(), v as f32 as f64);
+    }
+}

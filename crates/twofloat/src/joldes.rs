@@ -1,0 +1,228 @@
+//! Double-word algorithms of Joldes, Muller and Popescu.
+//!
+//! "Tight and rigorous error bounds for basic building blocks of double-word
+//! arithmetic", ACM TOMS 44(2), 2017. Algorithm numbers in the doc comments
+//! refer to that paper. All results are *normalised* pairs (`|lo| <=
+//! ulp(hi)/2`), which is what makes consecutive operations stable — the
+//! property the IPU paper found "crucial for overall solver performance" in
+//! Mixed-Precision Iterative Refinement.
+//!
+//! Inputs are `(hi, lo)` pairs assumed normalised; single-word operands are
+//! plain `F`.
+
+use crate::base::FloatBase;
+use crate::eft::{fast_two_sum, two_prod, two_sum};
+
+/// Algorithm 4 (`DWPlusFP`): double-word + single word. 10 flops,
+/// relative error ≤ 2u².
+#[inline]
+pub fn add_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let (sh, sl) = two_sum(xh, y);
+    let v = xl + sl;
+    fast_two_sum(sh, v)
+}
+
+/// Algorithm 6 (`AccurateDWPlusDW`): double-word + double-word. 20 flops,
+/// relative error ≤ 3u² + 13u³.
+#[inline]
+pub fn add_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let (sh, sl) = two_sum(xh, yh);
+    let (th, tl) = two_sum(xl, yl);
+    let c = sl + th;
+    let (vh, vl) = fast_two_sum(sh, c);
+    let w = tl + vl;
+    fast_two_sum(vh, w)
+}
+
+/// Algorithm 5 (`SloppyDWPlusDW`): cheaper addition (11 flops) whose error
+/// is only bounded when both operands have the same sign. Provided for the
+/// ablation benchmarks; not used by the solvers.
+#[inline]
+pub fn add_dw_dw_sloppy<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let (sh, sl) = two_sum(xh, yh);
+    let v = xl + yl;
+    let w = sl + v;
+    fast_two_sum(sh, w)
+}
+
+/// Double-word − single word, via [`add_dw_f`] with a negated operand.
+#[inline]
+pub fn sub_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    add_dw_f(xh, xl, -y)
+}
+
+/// Double-word − double-word, via [`add_dw_dw`] with negated operands.
+#[inline]
+pub fn sub_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    add_dw_dw(xh, xl, -yh, -yl)
+}
+
+/// Algorithm 9 (`DWTimesFP3`, FMA version): double-word × single word.
+/// 6 flops with FMA, relative error ≤ 2u².
+#[inline]
+pub fn mul_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let (ch, cl1) = two_prod(xh, y);
+    let cl3 = xl.fma(y, cl1);
+    fast_two_sum(ch, cl3)
+}
+
+/// Algorithm 12 (`DWTimesDW2`, FMA version): double-word × double-word.
+/// 9 flops with FMA, relative error ≤ 5u².
+#[inline]
+pub fn mul_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let (ch, cl1) = two_prod(xh, yh);
+    let tl = xh * yl;
+    let cl2 = xl.fma(yh, tl);
+    let cl3 = cl1 + cl2;
+    fast_two_sum(ch, cl3)
+}
+
+/// Algorithm 15 (`DWDivFP3`): double-word ÷ single word. ~10 flops,
+/// relative error ≤ 3u².
+#[inline]
+pub fn div_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let th = xh / y;
+    let (ph, pl) = two_prod(th, y);
+    let dh = xh - ph;
+    let dt = dh - pl;
+    let d = dt + xl;
+    let tl = d / y;
+    fast_two_sum(th, tl)
+}
+
+/// Algorithm 17 (`DWDivDW2`): double-word ÷ double-word. Relative error
+/// ≤ 15u² + 56u³.
+#[inline]
+pub fn div_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let th = xh / yh;
+    // r = x - y * th, computed exactly enough: y*th as DWTimesFP1.
+    let (rh, rl) = mul_dw_f(yh, yl, th);
+    let (ph, pl) = two_sum(xh, -rh);
+    let dl = (xl - rl) + pl;
+    let d = ph + dl;
+    let tl = d / yh;
+    fast_two_sum(th, tl)
+}
+
+/// Square root of a double-word number (Karp–Markstein style refinement of
+/// the single-word square root; error a few u²).
+#[inline]
+pub fn sqrt_dw<F: FloatBase>(xh: F, xl: F) -> (F, F) {
+    if xh == F::ZERO {
+        return (F::ZERO, F::ZERO);
+    }
+    let sh = xh.sqrt();
+    // Residual x - sh^2 in double precision of the pair.
+    let (ph, pl) = two_prod(sh, sh);
+    let (dh, dl) = add_dw_dw(xh, xl, -ph, -pl);
+    // Newton correction: (x - sh^2) / (2 sh)
+    let corr = (dh + dl) / (sh + sh);
+    fast_two_sum(sh, corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dw(v: f64) -> (f32, f32) {
+        let hi = v as f32;
+        let lo = (v - hi as f64) as f32;
+        (hi, lo)
+    }
+
+    fn val(p: (f32, f32)) -> f64 {
+        p.0 as f64 + p.1 as f64
+    }
+
+    // f32 double-word carries ~48 bits; f64 reference carries 53, so
+    // comparisons are meaningful to ~1e-13 relative.
+    const TOL: f64 = 1e-12;
+
+    fn assert_close(got: f64, want: f64) {
+        let denom = want.abs().max(1e-300);
+        assert!(
+            ((got - want) / denom).abs() < TOL,
+            "got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn add_dw_dw_precision() {
+        let x = 1.0 + 1e-9;
+        let y = 3.0 - 2e-9;
+        let (xh, xl) = dw(x);
+        let (yh, yl) = dw(y);
+        assert_close(val(add_dw_dw(xh, xl, yh, yl)), x + y);
+    }
+
+    #[test]
+    fn add_dw_f_precision() {
+        let x = 123.456789012;
+        let (xh, xl) = dw(x);
+        let y = 0.25f32;
+        assert_close(val(add_dw_f(xh, xl, y)), x + y as f64);
+    }
+
+    #[test]
+    fn mul_dw_dw_precision() {
+        let x = core::f64::consts::PI;
+        let y = core::f64::consts::E;
+        let (xh, xl) = dw(x);
+        let (yh, yl) = dw(y);
+        // dw(x) only carries ~48 bits of pi, so compare against the product
+        // of the truncated values.
+        let want = val((xh, xl)) * val((yh, yl));
+        assert_close(val(mul_dw_dw(xh, xl, yh, yl)), want);
+    }
+
+    #[test]
+    fn div_dw_dw_precision() {
+        let x = 1.0 + 1e-10;
+        let y = 3.0;
+        let (xh, xl) = dw(x);
+        let (yh, yl) = dw(y);
+        let want = val((xh, xl)) / val((yh, yl));
+        assert_close(val(div_dw_dw(xh, xl, yh, yl)), want);
+    }
+
+    #[test]
+    fn div_dw_f_precision() {
+        let x = 2.0 - 1e-9;
+        let (xh, xl) = dw(x);
+        assert_close(val(div_dw_f(xh, xl, 7.0f32)), val((xh, xl)) / 7.0);
+    }
+
+    #[test]
+    fn sqrt_dw_precision() {
+        let x = 2.0;
+        let (xh, xl) = dw(x);
+        assert_close(val(sqrt_dw(xh, xl)), core::f64::consts::SQRT_2);
+    }
+
+    #[test]
+    fn sqrt_of_zero() {
+        assert_eq!(sqrt_dw(0.0f32, 0.0f32), (0.0, 0.0));
+    }
+
+    #[test]
+    fn results_are_normalised() {
+        let (xh, xl) = dw(1.0 + 1e-9);
+        let (yh, yl) = dw(core::f64::consts::PI);
+        for (h, l) in [
+            add_dw_dw(xh, xl, yh, yl),
+            mul_dw_dw(xh, xl, yh, yl),
+            div_dw_dw(xh, xl, yh, yl),
+        ] {
+            // Normalised: hi absorbs lo exactly.
+            assert_eq!(h + l, h, "pair ({h}, {l}) not normalised");
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_precision() {
+        // (1 + 1e-9) - 1 should recover 1e-9 to double-word accuracy.
+        let (xh, xl) = dw(1.0 + 1e-9);
+        let r = sub_dw_f(xh, xl, 1.0f32);
+        assert_close(val(r), val((xh, xl)) - 1.0);
+    }
+}

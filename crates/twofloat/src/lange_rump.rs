@@ -1,0 +1,132 @@
+//! Pair arithmetic of Lange and Rump.
+//!
+//! "Faithfully rounded floating-point computations", ACM TOMS 46(3), 2020.
+//! Pair arithmetic computes on unevaluated sums like double-word arithmetic
+//! but *omits the final renormalisation* (`fast_two_sum`) after each
+//! operation. Individual results are faithfully rounded, but the error grows
+//! with chain length — which is why the IPU paper selects the Joldes
+//! algorithms for iterative refinement and keeps these as the fast
+//! alternative (7–25 flops per operation).
+
+use crate::base::FloatBase;
+use crate::eft::{two_prod, two_sum};
+
+/// Pair + single word (no renormalisation): 7 flops.
+#[inline]
+pub fn add_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let (sh, sl) = two_sum(xh, y);
+    (sh, sl + xl)
+}
+
+/// Pair + pair (no renormalisation): 8 flops.
+#[inline]
+pub fn add_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let (sh, sl) = two_sum(xh, yh);
+    (sh, sl + (xl + yl))
+}
+
+/// Pair − single word.
+#[inline]
+pub fn sub_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    add_dw_f(xh, xl, -y)
+}
+
+/// Pair − pair.
+#[inline]
+pub fn sub_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    add_dw_dw(xh, xl, -yh, -yl)
+}
+
+/// Pair × single word (no renormalisation): 4 flops with FMA.
+#[inline]
+pub fn mul_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let (ph, pl) = two_prod(xh, y);
+    (ph, xl.fma(y, pl))
+}
+
+/// Pair × pair (no renormalisation): 7 flops with FMA.
+#[inline]
+pub fn mul_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let (ph, pl) = two_prod(xh, yh);
+    let t = xh.fma(yl, pl);
+    (ph, xl.fma(yh, t))
+}
+
+/// Pair ÷ single word (no renormalisation).
+#[inline]
+pub fn div_dw_f<F: FloatBase>(xh: F, xl: F, y: F) -> (F, F) {
+    let qh = xh / y;
+    let r = (-qh).fma(y, xh); // exact residual of the leading quotient
+    let ql = (r + xl) / y;
+    (qh, ql)
+}
+
+/// Pair ÷ pair (no renormalisation).
+#[inline]
+pub fn div_dw_dw<F: FloatBase>(xh: F, xl: F, yh: F, yl: F) -> (F, F) {
+    let qh = xh / yh;
+    // Residual x - q*y evaluated with one EFT.
+    let (ph, pl) = two_prod(qh, yh);
+    let r = ((xh - ph) - pl) + xl - qh * yl;
+    (qh, r / yh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dw(v: f64) -> (f32, f32) {
+        let hi = v as f32;
+        let lo = (v - hi as f64) as f32;
+        (hi, lo)
+    }
+
+    fn val(p: (f32, f32)) -> f64 {
+        p.0 as f64 + p.1 as f64
+    }
+
+    // Pair arithmetic is faithfully rounded per-op; tolerate a few u^2.
+    const TOL: f64 = 1e-11;
+
+    fn assert_close(got: f64, want: f64) {
+        let denom = want.abs().max(1e-300);
+        assert!(((got - want) / denom).abs() < TOL, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn single_ops_are_faithful() {
+        let (xh, xl) = dw(1.0 + 3e-9);
+        let (yh, yl) = dw(7.0 - 5e-10);
+        let x = val((xh, xl));
+        let y = val((yh, yl));
+        assert_close(val(add_dw_dw(xh, xl, yh, yl)), x + y);
+        assert_close(val(sub_dw_dw(xh, xl, yh, yl)), x - y);
+        assert_close(val(mul_dw_dw(xh, xl, yh, yl)), x * y);
+        assert_close(val(div_dw_dw(xh, xl, yh, yl)), x / y);
+        assert_close(val(mul_dw_f(xh, xl, 3.0)), x * 3.0);
+        assert_close(val(div_dw_f(xh, xl, 3.0)), x / 3.0);
+    }
+
+    #[test]
+    fn error_grows_faster_than_joldes_on_chains() {
+        // Sum 1e5 values of pi/1e5; the Lange-Rump chain should lose at
+        // least as much precision as the renormalising Joldes chain.
+        let term = dw(core::f64::consts::PI / 1e5);
+        let mut lr = (0.0f32, 0.0f32);
+        let mut jo = (0.0f32, 0.0f32);
+        for _ in 0..100_000 {
+            lr = add_dw_dw(lr.0, lr.1, term.0, term.1);
+            jo = crate::joldes::add_dw_dw(jo.0, jo.1, term.0, term.1);
+        }
+        let want = val(term) * 1e5;
+        let err_lr = (val(lr) - want).abs();
+        let err_jo = (val(jo) - want).abs();
+        assert!(err_jo <= err_lr + 1e-13, "joldes {err_jo} vs lange-rump {err_lr}");
+        // And both are far better than plain f32 accumulation.
+        let mut naive = 0.0f32;
+        for _ in 0..100_000 {
+            naive += term.0;
+        }
+        assert!(err_lr < (naive as f64 - want).abs());
+    }
+}

@@ -1,0 +1,50 @@
+//! Double-word floating-point arithmetic.
+//!
+//! A *double-word* number represents a value as the unevaluated sum of two
+//! machine floats `hi + lo` with `|lo| <= ulp(hi)/2` (the pair is
+//! *normalised*). On hardware without native double precision — such as the
+//! GraphCore IPU targeted by the paper this crate reproduces — a pair of
+//! `f32`s provides roughly 13–14 decimal digits of precision at a small
+//! multiple of the single-precision operation cost, compared to the ~180x
+//! slowdown of fully emulated IEEE double precision.
+//!
+//! Two arithmetic families are implemented, following the paper's §III-D:
+//!
+//! * [`joldes`] — the tight-and-rigorous algorithms of Joldes, Muller and
+//!   Popescu (ACM TOMS 44(2), 2017). Slower (20–34 flops per operation) but
+//!   with per-operation relative error bounds of a few `u²`, which the paper
+//!   found necessary for the stability of Mixed-Precision Iterative
+//!   Refinement.
+//! * [`lange_rump`] — the faithfully-rounded *pair arithmetic* of Lange and
+//!   Rump (ACM TOMS 46(3), 2020), which omits normalisation steps (7–25
+//!   flops) at the cost of error growth across chained operations.
+//!
+//! The main type [`TwoFloat`] uses the Joldes algorithms for its operator
+//! overloads (the paper's default); [`FastTwoFloat`] wraps the Lange–Rump
+//! pair arithmetic. Both are generic over the base float via [`FloatBase`].
+//!
+//! ```
+//! use twofloat::TwoFloat;
+//!
+//! // 1 + 1e-8 is not representable in f32, but is as a double-word:
+//! let x = TwoFloat::<f32>::from_f64(1.0 + 1e-8);
+//! assert_ne!(x.to_f64(), 1.0);
+//! assert!((x.to_f64() - (1.0 + 1e-8)).abs() < 1e-14);
+//! ```
+
+mod base;
+mod eft;
+pub mod joldes;
+pub mod lange_rump;
+mod softdouble;
+mod twofloat;
+
+pub use base::FloatBase;
+pub use eft::{fast_two_sum, split, two_diff, two_prod, two_prod_dekker, two_sum};
+pub use softdouble::SoftDouble;
+pub use twofloat::{FastTwoFloat, TwoFloat};
+
+/// Double-word over `f32`: the configuration used on the IPU.
+pub type TwoF32 = TwoFloat<f32>;
+/// Double-word over `f64` (quad-like precision on conventional hardware).
+pub type TwoF64 = TwoFloat<f64>;

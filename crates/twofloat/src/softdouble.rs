@@ -1,0 +1,158 @@
+//! Software-emulated IEEE double precision.
+//!
+//! The IPU has no f64 hardware; the Poplar toolchain emulates it via
+//! compiler-rt soft-float routines (~1080–2520 cycles per operation, paper
+//! Table I). Numerically the emulation is bit-exact IEEE binary64, so on the
+//! host we represent it by a transparent `f64` newtype. The *cost* of soft
+//! double operations is charged by the simulator's cycle model
+//! (`ipu_sim::cost`), not here — this type exists so the DSL type system can
+//! distinguish "emulated double" from data that could never exist on the
+//! device, and so conversions are explicit.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// IEEE binary64 value emulated in software on the device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SoftDouble(pub f64);
+
+impl SoftDouble {
+    pub const ZERO: Self = SoftDouble(0.0);
+    pub const ONE: Self = SoftDouble(1.0);
+
+    #[inline]
+    pub fn from_f32(v: f32) -> Self {
+        SoftDouble(v as f64)
+    }
+
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32
+    }
+
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn abs(self) -> Self {
+        SoftDouble(self.0.abs())
+    }
+
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        SoftDouble(self.0.sqrt())
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl From<f64> for SoftDouble {
+    fn from(v: f64) -> Self {
+        SoftDouble(v)
+    }
+}
+
+impl From<SoftDouble> for f64 {
+    fn from(v: SoftDouble) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for SoftDouble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl PartialOrd for SoftDouble {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+macro_rules! op {
+    ($trait:ident, $m:ident, $op:tt) => {
+        impl $trait for SoftDouble {
+            type Output = Self;
+            #[inline]
+            fn $m(self, rhs: Self) -> Self {
+                SoftDouble(self.0 $op rhs.0)
+            }
+        }
+    };
+}
+op!(Add, add, +);
+op!(Sub, sub, -);
+op!(Mul, mul, *);
+op!(Div, div, /);
+
+impl Neg for SoftDouble {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        SoftDouble(-self.0)
+    }
+}
+
+impl AddAssign for SoftDouble {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+impl SubAssign for SoftDouble {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+impl MulAssign for SoftDouble {
+    fn mul_assign(&mut self, rhs: Self) {
+        self.0 *= rhs.0;
+    }
+}
+impl DivAssign for SoftDouble {
+    fn div_assign(&mut self, rhs: Self) {
+        self.0 /= rhs.0;
+    }
+}
+
+impl Sum for SoftDouble {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        SoftDouble(iter.map(|x| x.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_f64() {
+        let a = SoftDouble(1.0 + 1e-12);
+        let b = SoftDouble(3.0);
+        assert_eq!((a * b).0, (1.0 + 1e-12) * 3.0);
+        assert_eq!((a / b).0, (1.0 + 1e-12) / 3.0);
+        assert_eq!((a + b).0, 4.0 + 1e-12);
+        assert_eq!((a - b).0, (1.0 + 1e-12) - 3.0);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let x = SoftDouble::from_f32(1.25);
+        assert_eq!(x.to_f32(), 1.25);
+        assert_eq!(x.to_f64(), 1.25);
+    }
+
+    #[test]
+    fn precision_exceeds_double_word() {
+        // SoftDouble keeps all 53 bits; f32 double-word keeps ~48.
+        let v = 1.0 + f64::EPSILON;
+        assert_ne!(SoftDouble(v).0, 1.0);
+    }
+}

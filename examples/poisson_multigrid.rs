@@ -1,0 +1,94 @@
+//! Geometric two-grid solution of a 3D Poisson problem — the multigrid
+//! setting the paper's §V-D alludes to (Gauss-Seidel "as a smoother in
+//! multigrid algorithms"), assembled from the framework's pieces:
+//! level-set scheduled GS smoothing, tile-local grid transfers, and a
+//! Krylov coarse solve, all in one device program.
+//!
+//! Compares plain smoothing, the two-grid cycle, and BiCGStab+ILU(0) on
+//! the same problem, in device time and cycles.
+//!
+//! ```sh
+//! cargo run --release --example poisson_multigrid
+//! ```
+
+use std::rc::Rc;
+
+use graphene::dsl::prelude::*;
+use graphene::graphene_core::dist::DistSystem;
+use graphene::graphene_core::solvers::{BiCgStab, GaussSeidel, Ilu0, Solver, TwoGrid};
+use graphene::sparse::gen::{poisson_3d_7pt, rhs_for_ones, Grid3};
+use graphene::sparse::partition::Partition;
+
+const CYCLES: u32 = 8;
+
+fn main() {
+    let fg = Grid3 { nx: 24, ny: 24, nz: 24 };
+    let a = Rc::new(poisson_3d_7pt(fg.nx, fg.ny, fg.nz));
+    let bs = rhs_for_ones(&a);
+    println!(
+        "poisson {}x{}x{}: {} rows, {} nnz, 8 tiles\n",
+        fg.nx,
+        fg.ny,
+        fg.nz,
+        a.nrows,
+        a.nnz()
+    );
+    println!("method                      rel_residual   device_ms   cycles");
+
+    // 1. Gauss-Seidel smoothing only (4 sweeps per "cycle").
+    run("gauss-seidel x32 sweeps   ", &a, &bs, fg, |ctx, sys, b, x| {
+        let mut gs = GaussSeidel::new(4, false);
+        gs.setup(ctx, sys);
+        ctx.repeat(CYCLES, |ctx| gs.solve(ctx, sys, b, x));
+        None
+    });
+
+    // 2. Two-grid V(2,2) with a BiCGStab coarse solve.
+    run("two-grid V(2,2) x8 cycles ", &a, &bs, fg, |ctx, sys, b, x| {
+        let coarse = Box::new(BiCgStab::new(60, 1e-7, None));
+        let mut tg = TwoGrid::new(fg, (2, 2, 2), 2, 2, coarse);
+        tg.setup(ctx, sys);
+        ctx.repeat(CYCLES, |ctx| tg.solve(ctx, sys, b, x));
+        Some(tg)
+    });
+
+    // 3. The paper's workhorse for reference.
+    run("bicgstab+ilu(0) to 1e-6   ", &a, &bs, fg, |ctx, sys, b, x| {
+        let mut s = BiCgStab::new(200, 1e-6, Some(Box::new(Ilu0::new()) as Box<dyn Solver>));
+        s.setup(ctx, sys);
+        s.solve(ctx, sys, b, x);
+        None
+    });
+}
+
+fn run(
+    name: &str,
+    a: &Rc<graphene::sparse::CsrMatrix>,
+    bs: &[f64],
+    fg: Grid3,
+    build: impl FnOnce(&mut DslCtx, &DistSystem, TensorRef, TensorRef) -> Option<TwoGrid>,
+) {
+    let part = Partition::grid_3d(fg, 2, 2, 2);
+    let mut ctx = DslCtx::new(IpuModel::tiny(8));
+    let sys = DistSystem::build(&mut ctx, a.clone(), part);
+    let b = sys.new_vector(&mut ctx, "b", DType::F32);
+    let x = sys.new_vector(&mut ctx, "x", DType::F32);
+    let tg = build(&mut ctx, &sys, b, x);
+    let mut e = ctx.build_engine().expect("program compiles");
+    sys.upload(&mut e);
+    if let Some(tg) = &tg {
+        tg.upload(&mut e);
+    }
+    e.write_tensor(b.id, &sys.to_device_order(bs));
+    e.run();
+    let got = sys.from_device_order(&e.read_tensor(x.id));
+    let r2: f64 =
+        a.spmv_alloc(&got).iter().zip(bs).map(|(ax, b)| (ax - b) * (ax - b)).sum();
+    let b2: f64 = bs.iter().map(|v| v * v).sum();
+    println!(
+        "{name}  {:>10.3e}   {:>8.3}   {}",
+        (r2 / b2).sqrt(),
+        e.elapsed_seconds() * 1e3,
+        e.stats().device_cycles()
+    );
+}

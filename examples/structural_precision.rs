@@ -1,0 +1,96 @@
+//! Structural analysis with extended precision — the paper's §VI-C
+//! experiment as an application.
+//!
+//! A shell-structure stiffness system (the af_shell7 analogue) is solved
+//! on hardware with no native double precision. The example runs the same
+//! PBiCGStab+ILU(0) solver under the paper's four refinement
+//! configurations and prints where each stalls — demonstrating that
+//! double-word MPIR recovers (better than) double-precision quality at a
+//! fraction of the emulated-f64 cost.
+//!
+//! ```sh
+//! cargo run --release --example structural_precision
+//! ```
+
+use std::rc::Rc;
+
+use graphene::graphene_core::config::SolverConfig;
+use graphene::graphene_core::runner::{solve, SolveOptions};
+use graphene::graphene_core::solvers::ExtendedPrecision;
+use graphene::ipu_sim::IpuModel;
+use graphene::sparse::gen;
+
+fn main() {
+    let a = Rc::new(gen::suitesparse::af_shell7_like(0.004));
+    let b = gen::random_vector(a.nrows, 7);
+    println!(
+        "shell stiffness system: {} rows, {} nnz ({:.1} per row)\n",
+        a.nrows,
+        a.nnz(),
+        a.nnz() as f64 / a.nrows as f64
+    );
+
+    let inner = |max_iters| SolverConfig::BiCgStab {
+        max_iters,
+        rel_tol: 0.0,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    let configs: [(&str, SolverConfig); 4] = [
+        (
+            "PBiCGStab+ILU(0), no refinement   ",
+            SolverConfig::BiCgStab {
+                max_iters: 300,
+                rel_tol: 1e-20,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            },
+        ),
+        (
+            "+ IR in working precision (f32)   ",
+            SolverConfig::Mpir {
+                inner: Box::new(inner(60)),
+                precision: ExtendedPrecision::Working,
+                max_outer: 5,
+                rel_tol: 1e-20,
+            },
+        ),
+        (
+            "+ MPIR, double-word arithmetic    ",
+            SolverConfig::Mpir {
+                inner: Box::new(inner(60)),
+                precision: ExtendedPrecision::DoubleWord,
+                max_outer: 5,
+                rel_tol: 1e-20,
+            },
+        ),
+        (
+            "+ MPIR, emulated double precision ",
+            SolverConfig::Mpir {
+                inner: Box::new(inner(60)),
+                precision: ExtendedPrecision::EmulatedF64,
+                max_outer: 5,
+                rel_tol: 1e-20,
+            },
+        ),
+    ];
+
+    let opts = SolveOptions {
+        model: IpuModel::mk2(),
+        rows_per_tile: 24,
+        record_history: false,
+        ..SolveOptions::default()
+    };
+    println!("configuration                        final residual   device ms");
+    let mut floors = Vec::new();
+    for (name, cfg) in configs {
+        let r = solve(a.clone(), &b, &cfg, &opts);
+        println!("{name}  {:>12.3e}   {:>8.2}", r.residual, r.seconds * 1e3);
+        floors.push(r.residual);
+    }
+    println!(
+        "\ndouble-word refinement improved the convergence floor by {:.0e}x over\n\
+         plain single precision — without native f64 hardware.",
+        floors[0] / floors[2]
+    );
+    assert!(floors[2] < floors[0] * 1e-4, "MPIR-DW must beat the f32 floor");
+    assert!(floors[3] <= floors[2] * 10.0, "emulated f64 at least as precise");
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper (see DESIGN.md section 3).
+# Results land in results/*.txt. Pass a scale multiplier via env SCALE_MULT
+# Flags can be appended per-binary, e.g. `--scale 1.0` inside this script.
+set -e
+cd "$(dirname "$0")"
+run() { echo ">>> $1" >&2; shift; cargo run --release -q -p graphene-bench --bin "$@"; }
+run "Table I"    table1                    | tee results/table1.txt
+run "Tables II/III" tables23               | tee results/tables23.txt
+run "Fig 5"      fig5                      | tee results/fig5.txt
+run "Fig 6"      fig6                      | tee results/fig6.txt
+run "Fig 7"      fig7                      | tee results/fig7.txt
+run "Fig 8"      fig8                      | tee results/fig8.txt
+run "Fig 9"      fig9                      | tee results/fig9.txt
+run "Fig 10"     fig10                     | tee results/fig10.txt
+run "Table IV"   table4                    | tee results/table4.txt
+run "Ablations"  ablations                 | tee results/ablations.txt
+echo "all experiments done"
