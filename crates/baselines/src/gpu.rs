@@ -102,8 +102,9 @@ impl GpuModel {
     ) -> f64 {
         let n = a.nrows;
         2.0 * self.spmv_time(a)
-            + 2.0 * (self.triangular_solve_time(fwd_levels, a.nnz() / 2, n)
-                + self.triangular_solve_time(bwd_levels, a.nnz() / 2, n))
+            + 2.0
+                * (self.triangular_solve_time(fwd_levels, a.nnz() / 2, n)
+                    + self.triangular_solve_time(bwd_levels, a.nnz() / 2, n))
             + 6.0 * self.vector_op_time(n)
             + 4.0 * self.dot_time(n)
     }

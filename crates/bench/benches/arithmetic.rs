@@ -10,9 +10,7 @@ fn bench_scalar_ops(c: &mut Criterion) {
     let a32 = black_box(1.234567f32);
     let b32 = black_box(7.654321f32);
     g.bench_function("f32_mul", |b| b.iter(|| black_box(a32) * black_box(b32)));
-    g.bench_function("f64_mul", |b| {
-        b.iter(|| black_box(a32 as f64) * black_box(b32 as f64))
-    });
+    g.bench_function("f64_mul", |b| b.iter(|| black_box(a32 as f64) * black_box(b32 as f64)));
     let x = TwoF32::from_f64(1.2345678901);
     let y = TwoF32::from_f64(7.6543210987);
     g.bench_function("dw_joldes_add", |b| b.iter(|| black_box(x) + black_box(y)));
@@ -29,9 +27,7 @@ fn bench_accumulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("dot_product_1k");
     let xs: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
     let ys: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.73).cos()).collect();
-    g.bench_function("f32", |b| {
-        b.iter(|| xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f32>())
-    });
+    g.bench_function("f32", |b| b.iter(|| xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f32>()));
     g.bench_function("dw_joldes", |b| {
         b.iter(|| {
             let mut acc = (0.0f32, 0.0f32);

@@ -13,24 +13,27 @@
 use std::rc::Rc;
 
 use dsl::prelude::*;
-use graphene_bench::{header, Args};
+use graphene_bench::{header, Args, Reporter};
 use graphene_core::dist::DistSystem;
 use graphene_core::solvers::{GaussSeidel, Solver};
+use json::Json;
 use sparse::gen::{poisson_3d_7pt, Grid3};
 use sparse::partition::Partition;
 use twofloat::{joldes, lange_rump};
 
 fn main() {
     let args = Args::parse();
-    ablation_halo(&args);
+    let mut reporter = Reporter::from_env("ablations");
+    ablation_halo(&args, &mut reporter);
     ablation_arithmetic();
-    ablation_levelset(&args);
-    ablation_fusion();
-    ablation_sell();
+    ablation_levelset(&args, &mut reporter);
+    ablation_fusion(&mut reporter);
+    ablation_sell(&mut reporter);
+    reporter.finish();
 }
 
 /// A: blockwise vs per-cell halo exchange.
-fn ablation_halo(args: &Args) {
+fn ablation_halo(args: &Args, reporter: &mut Reporter) {
     let side = args.get("--halo-side", 24.0) as usize;
     header(&format!("Ablation A: blockwise vs naive halo exchange, poisson {side}^3 on 64 tiles"));
     let grid = Grid3 { nx: side, ny: side, nz: side };
@@ -47,16 +50,19 @@ fn ablation_halo(args: &Args) {
         } else {
             sys.halo_exchange(&mut ctx, x);
         }
-        let copies =
-            if naive { sys.halo_volume() } else { sys.halo.num_block_copies() };
+        let copies = if naive { sys.halo_volume() } else { sys.halo.num_block_copies() };
         let mut e = ctx.build_engine().unwrap();
         sys.upload(&mut e);
         e.run();
-        println!(
-            "{}\t{copies}\t{}",
-            if naive { "naive-per-cell" } else { "blockwise-regions" },
-            e.stats().phase_cycles(ipu_sim::Phase::Exchange)
-        );
+        let scheme = if naive { "naive-per-cell" } else { "blockwise-regions" };
+        let cycles = e.stats().phase_cycles(ipu_sim::Phase::Exchange);
+        println!("{scheme}\t{copies}\t{cycles}");
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("halo_ablation")),
+            ("copies", Json::from(copies)),
+            ("exchange_cycles", Json::from(cycles)),
+        ]);
+        reporter.add_json(scheme, &mut run);
     }
 }
 
@@ -88,7 +94,7 @@ fn ablation_arithmetic() {
 }
 
 /// C: a level-set scheduled Gauss-Seidel sweep with 1 vs 6 workers/tile.
-fn ablation_levelset(args: &Args) {
+fn ablation_levelset(args: &Args, reporter: &mut Reporter) {
     let side = args.get("--ls-side", 16.0) as usize;
     header(&format!(
         "Ablation C: level-set Gauss-Seidel sweep, 1 vs 6 workers/tile, poisson {side}^3 on 8 tiles"
@@ -114,6 +120,12 @@ fn ablation_levelset(args: &Args) {
         let cycles = e.stats().device_cycles();
         let b0 = *base.get_or_insert(cycles);
         println!("{workers}\t{cycles}\t{:.2}", b0 as f64 / cycles as f64);
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("levelset_ablation")),
+            ("workers", Json::from(workers)),
+            ("device_cycles", Json::from(cycles)),
+        ]);
+        reporter.add_json(&format!("workers={workers}"), &mut run);
     }
 }
 
@@ -121,7 +133,7 @@ fn ablation_levelset(args: &Args) {
 /// §II-C hypothesis: "we anticipate that the performance gains typically
 /// associated with ELLPACK and SELL formats would be small on IPUs"
 /// (no caches, 2-wide vectors, single-cycle branches).
-fn ablation_sell() {
+fn ablation_sell(reporter: &mut Reporter) {
     use graphene_core::dist::DistSystem;
     use sparse::sell::SellMatrix;
 
@@ -142,6 +154,12 @@ fn ablation_sell() {
         sys.upload(&mut e);
         e.run();
         println!("modified-csr\t{}\t{}", a.nnz(), e.stats().device_cycles());
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("sell_ablation")),
+            ("stored_entries", Json::from(a.nnz())),
+            ("device_cycles", Json::from(e.stats().device_cycles())),
+        ]);
+        reporter.add_json("modified-csr", &mut run);
     }
 
     // SELL with slice height 8.
@@ -173,11 +191,7 @@ fn ablation_sell() {
                     let i = cb.let_(s.clone() * c + r.clone());
                     cb.if_(i.clone().lt(rows.clone()), |cb| {
                         let idx = cb.let_(base.clone() + k.clone() * c + r.clone());
-                        cb.store(
-                            yp,
-                            i.clone(),
-                            yp.at(i) + vp.at(idx.clone()) * xp.at(cp.at(idx)),
-                        );
+                        cb.store(yp, i.clone(), yp.at(i) + vp.at(idx.clone()) * xp.at(cp.at(idx)));
                     });
                 });
             });
@@ -202,10 +216,7 @@ fn ablation_sell() {
         let mut e = ctx.build_engine().unwrap();
         e.write_tensor(vals.id, &sell.vals);
         e.write_tensor(cols.id, &sell.cols.iter().map(|&v| v as f64).collect::<Vec<_>>());
-        e.write_tensor(
-            widths.id,
-            &sell.slice_width.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-        );
+        e.write_tensor(widths.id, &sell.slice_width.iter().map(|&v| v as f64).collect::<Vec<_>>());
         e.write_tensor(sptr.id, &sell.slice_ptr.iter().map(|&v| v as f64).collect::<Vec<_>>());
         // Correctness spot-check before timing.
         let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
@@ -217,11 +228,17 @@ fn ablation_sell() {
             assert!((g - w).abs() < 1e-3, "SELL codelet wrong: {g} vs {w}");
         }
         println!("sell-c8\t{}\t{}", sell.padded_nnz(), e.stats().device_cycles());
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("sell_ablation")),
+            ("stored_entries", Json::from(sell.padded_nnz())),
+            ("device_cycles", Json::from(e.stats().device_cycles())),
+        ]);
+        reporter.add_json("sell-c8", &mut run);
     }
 }
 
 /// D: one fused codelet vs a chain of eagerly materialised temporaries.
-fn ablation_fusion() {
+fn ablation_fusion(reporter: &mut Reporter) {
     header("Ablation D: lazy fused materialisation vs eager temporaries");
     println!("strategy\tcompute_sets\tdevice_cycles");
     let n = 60_000;
@@ -235,6 +252,12 @@ fn ablation_fusion() {
         let mut e = ctx.build_engine().unwrap();
         e.run();
         println!("lazy-fused\t{sets}\t{}", e.stats().device_cycles());
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("fusion_ablation")),
+            ("compute_sets", Json::from(sets)),
+            ("device_cycles", Json::from(e.stats().device_cycles())),
+        ]);
+        reporter.add_json("lazy-fused", &mut run);
     }
     // Eager: one materialisation per operation (what a naive tensor
     // library would do).
@@ -251,5 +274,11 @@ fn ablation_fusion() {
         let mut e = ctx.build_engine().unwrap();
         e.run();
         println!("eager-temporaries\t{sets}\t{}", e.stats().device_cycles());
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("fusion_ablation")),
+            ("compute_sets", Json::from(sets)),
+            ("device_cycles", Json::from(e.stats().device_cycles())),
+        ]);
+        reporter.add_json("eager-temporaries", &mut run);
     }
 }

@@ -12,7 +12,7 @@
 
 use std::rc::Rc;
 
-use graphene_bench::{header, ipu_friendly_grid, measure_spmv, Args};
+use graphene_bench::{header, ipu_friendly_grid, measure_spmv, Args, Reporter};
 use ipu_sim::model::IpuModel;
 use sparse::gen::poisson_3d_7pt;
 
@@ -34,11 +34,13 @@ fn main() {
     ));
     println!("ipus\ttotal_us\tcompute_us\tspeedup\tspeedup_compute\tideal");
 
+    let mut reporter = Reporter::from_env("fig5");
     let mut base_total = None;
     let mut base_compute = None;
     for ipus in [1usize, 2, 4, 8, 16] {
         let model = IpuModel::with_ipus(ipus);
         let m = measure_spmv(a.clone(), &model, Some(grid), true);
+        reporter.add_spmv(&format!("ipus={ipus}"), &m);
         let total_s = model.cycles_to_seconds(m.total_cycles);
         let compute_s = model.cycles_to_seconds(m.compute_cycles);
         let bt = *base_total.get_or_insert(total_s);
@@ -52,4 +54,5 @@ fn main() {
             ipus
         );
     }
+    reporter.finish();
 }

@@ -15,7 +15,7 @@
 
 use std::rc::Rc;
 
-use graphene_bench::{header, measure_spmv_with_partition, Args};
+use graphene_bench::{header, measure_spmv_with_partition, Args, Reporter};
 use ipu_sim::model::IpuModel;
 use sparse::gen::{poisson_3d_7pt, Grid3};
 use sparse::partition::Partition;
@@ -26,14 +26,13 @@ fn main() {
     // Paper: ~5435 rows per tile throughout. Use a cubic box per tile.
     let side = ((5435.0 * scale).cbrt().round().max(2.0)) as usize;
     let rows_per_tile = side * side * side;
-    header(&format!(
-        "Fig 6: weak scaling of SpMV, poisson, {side}^3 = {rows_per_tile} rows/tile"
-    ));
+    header(&format!("Fig 6: weak scaling of SpMV, poisson, {side}^3 = {rows_per_tile} rows/tile"));
     println!("ipus\trows\trows_per_tile\ttotal_us\tcompute_us\texchange_us\tsync_us\tefficiency");
 
     // 1472·n tiles factor as 23 × py × pz.
     let factorisations: [(usize, usize, usize); 5] =
         [(1, 8, 8), (2, 16, 8), (4, 16, 16), (8, 32, 16), (16, 32, 32)];
+    let mut reporter = Reporter::from_env("fig6");
     let mut base_total = None;
     for (ipus, py, pz) in factorisations {
         let model = IpuModel::with_ipus(ipus);
@@ -42,6 +41,7 @@ fn main() {
         let a = Rc::new(poisson_3d_7pt(grid.nx, grid.ny, grid.nz));
         let part = Partition::grid_3d(grid, 23, py, pz);
         let m = measure_spmv_with_partition(a.clone(), &model, part, true);
+        reporter.add_spmv(&format!("ipus={ipus}"), &m);
         let total = model.cycles_to_seconds(m.total_cycles) * 1e6;
         let compute = model.cycles_to_seconds(m.compute_cycles) * 1e6;
         let exchange = model.cycles_to_seconds(m.exchange_cycles) * 1e6;
@@ -53,4 +53,5 @@ fn main() {
             bt / total
         );
     }
+    reporter.finish();
 }

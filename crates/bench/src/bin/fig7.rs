@@ -14,8 +14,9 @@ use std::rc::Rc;
 
 use baselines::cpu::{spmv_par, time_op};
 use baselines::gpu::GpuModel;
-use graphene_bench::{header, measure_spmv, Args};
+use graphene_bench::{header, measure_spmv, Args, Reporter};
 use ipu_sim::model::IpuModel;
+use json::Json;
 use sparse::gen::suitesparse::{by_name, PAPER_MATRICES};
 
 fn main() {
@@ -27,6 +28,7 @@ fn main() {
         "matrix\trows\tnnz\tipu_us\tcpu_us\tgpu_us\tipu_vs_cpu\tipu_vs_gpu\tipu_uj\tcpu_uj\tgpu_uj"
     );
 
+    let mut reporter = Reporter::from_env("fig7");
     let model = IpuModel::m2000();
     let gpu = GpuModel::h100();
     for info in PAPER_MATRICES {
@@ -41,6 +43,13 @@ fn main() {
         let cpu = time_op(|| spmv_par(&a, &x, &mut y), reps / 2, reps);
         // GPU: roofline model.
         let g = gpu.spmv_time(&a);
+        let mut run = m.to_value();
+        if let Json::Obj(fields) = &mut run {
+            fields.push(("ipu_seconds".to_string(), Json::from(ipu)));
+            fields.push(("cpu_seconds".to_string(), Json::from(cpu)));
+            fields.push(("gpu_seconds".to_string(), Json::from(g)));
+        }
+        reporter.add_json(info.name, &mut run);
         use graphene_bench::power;
         println!(
             "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
@@ -57,4 +66,5 @@ fn main() {
             power::mj(g, power::GPU_H100_W) * 1e3,
         );
     }
+    reporter.finish();
 }

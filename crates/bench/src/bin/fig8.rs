@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use baselines::cpu::{CpuSolver, Ilu0Factors};
 use baselines::gpu::GpuModel;
-use graphene_bench::{header, Args};
+use graphene_bench::{header, Args, Reporter};
 use graphene_core::config::SolverConfig;
 use graphene_core::runner::{solve, SolveOptions};
 use graphene_core::solvers::ExtendedPrecision;
@@ -32,6 +32,7 @@ fn main() {
         "matrix\trows\tipu_ms\tipu_iters\tcpu_ms\tcpu_iters\tgpu_ms\tipu_vs_cpu\tipu_vs_gpu\tipu_mj\tcpu_mj\tgpu_mj"
     );
 
+    let mut reporter = Reporter::from_env("fig8");
     let model = IpuModel::m2000();
     let gpu = GpuModel::h100();
     for info in PAPER_MATRICES {
@@ -57,6 +58,7 @@ fn main() {
             partition: None,
         };
         let ipu = solve(a.clone(), &b, &cfg, &opts);
+        reporter.add_solve(info.name, &ipu);
 
         // CPU: native f64 BiCGStab + global ILU(0), wall time on this host.
         let mut x = vec![0.0; a.nrows];
@@ -88,4 +90,5 @@ fn main() {
             println!("#   warning: IPU run ended at residual {:.2e}", ipu.residual);
         }
     }
+    reporter.finish();
 }

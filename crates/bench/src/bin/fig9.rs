@@ -13,5 +13,10 @@ use graphene_bench::Args;
 fn main() {
     let args = Args::parse();
     let scale = args.get("--scale", 0.004);
-    graphene_bench::convergence_figure("Fig 9", "Geo_1438", scale, args.get("--inner", 100.0) as u32);
+    graphene_bench::convergence_figure(
+        "Fig 9",
+        "Geo_1438",
+        scale,
+        args.get("--inner", 100.0) as u32,
+    );
 }

@@ -6,8 +6,9 @@
 //! interpreter, per type.
 
 use dsl::prelude::*;
-use graphene_bench::header;
+use graphene_bench::{header, Reporter};
 use ipu_sim::cost::{CostModel, Op};
+use json::Json;
 
 fn measured_cycles(dtype: DType, op: &str, n: i32) -> f64 {
     // A codelet performing n dependent ops on values of `dtype`, in a
@@ -52,28 +53,43 @@ fn measured_cycles(dtype: DType, op: &str, n: i32) -> f64 {
 
 fn main() {
     header("Table I: floating-point families on the simulated IPU");
+    let mut reporter = Reporter::from_env("table1");
     let cm = CostModel::default();
     println!("row\tsingle_precision\tdouble_word\tdouble_precision(emulated)");
     println!("algorithm\tnative\tJoldes et al.\tcompiler-rt (emulated)");
     println!("decimal digits\t7.2\t13.3-14.0\t16.0");
     println!("range\t1e-38..1e38\t1e-38..1e38\t1e-308..1e308");
-    for (name, op) in [("addition", Op::Add), ("multiplication", Op::Mul), ("division", Op::Div)]
-    {
-        println!(
-            "{name} (model)\t{}\t{}\t{}",
+    for (name, op) in [("addition", Op::Add), ("multiplication", Op::Mul), ("division", Op::Div)] {
+        let (f32c, dwc, dpc) = (
             cm.op_cycles(op, DType::F32),
             cm.op_cycles(op, DType::DoubleWord),
-            cm.op_cycles(op, DType::F64Emulated)
+            cm.op_cycles(op, DType::F64Emulated),
         );
+        println!("{name} (model)\t{f32c}\t{dwc}\t{dpc}");
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("op_cycles_model")),
+            ("f32", Json::from(f32c)),
+            ("double_word", Json::from(dwc)),
+            ("f64_emulated", Json::from(dpc)),
+        ]);
+        reporter.add_json(name, &mut run);
     }
     println!("#");
     println!("# measured through the codelet interpreter (100 chained ops):");
     for (name, op) in [("addition", "add"), ("multiplication", "mul"), ("division", "div")] {
-        println!(
-            "{name} (measured)\t{:.0}\t{:.0}\t{:.0}",
+        let (f32c, dwc, dpc) = (
             measured_cycles(DType::F32, op, 100),
             measured_cycles(DType::DoubleWord, op, 100),
-            measured_cycles(DType::F64Emulated, op, 100)
+            measured_cycles(DType::F64Emulated, op, 100),
         );
+        println!("{name} (measured)\t{f32c:.0}\t{dwc:.0}\t{dpc:.0}");
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("op_cycles_measured")),
+            ("f32", Json::from(f32c)),
+            ("double_word", Json::from(dwc)),
+            ("f64_emulated", Json::from(dpc)),
+        ]);
+        reporter.add_json(&format!("{name}_measured"), &mut run);
     }
+    reporter.finish();
 }

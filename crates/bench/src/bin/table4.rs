@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use graphene_bench::{header, Args};
+use graphene_bench::{header, Args, Reporter};
 use graphene_core::config::SolverConfig;
 use graphene_core::runner::{solve, SolveOptions};
 use graphene_core::solvers::ExtendedPrecision;
@@ -26,6 +26,7 @@ fn main() {
     ));
 
     println!("operation\tdouble_word\tdouble_precision");
+    let mut reporter = Reporter::from_env("table4");
     let mut columns = Vec::new();
     for precision in [ExtendedPrecision::DoubleWord, ExtendedPrecision::EmulatedF64] {
         let cfg = SolverConfig::Mpir {
@@ -48,6 +49,11 @@ fn main() {
             partition: None,
         };
         let res = solve(a.clone(), &b, &cfg, &opts);
+        let label = match precision {
+            ExtendedPrecision::DoubleWord => "double_word",
+            _ => "double_precision",
+        };
+        reporter.add_solve(label, &res);
         let total = res.stats.device_cycles().max(1) as f64;
         let pct = |labels: &[&str]| {
             100.0 * labels.iter().map(|l| res.stats.label_cycles(l)).sum::<u64>() as f64 / total
@@ -61,11 +67,18 @@ fn main() {
             pct(&["ilu_factorize"]),
         ]);
     }
-    for (i, row) in
-        ["ILU(0) solve", "SpMV", "Reduce", "Elementwise ops", "Extended-precision ops", "(ILU(0) factorisation, one-time)"]
-            .iter()
-            .enumerate()
+    for (i, row) in [
+        "ILU(0) solve",
+        "SpMV",
+        "Reduce",
+        "Elementwise ops",
+        "Extended-precision ops",
+        "(ILU(0) factorisation, one-time)",
+    ]
+    .iter()
+    .enumerate()
     {
         println!("{row}\t{:.1}%\t{:.1}%", columns[0][i], columns[1][i]);
     }
+    reporter.finish();
 }

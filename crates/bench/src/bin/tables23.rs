@@ -2,13 +2,15 @@
 //! and architectures, reprinted with the substituted values used by this
 //! reproduction alongside the paper's.
 
-use graphene_bench::{header, Args};
+use graphene_bench::{header, Args, Reporter};
 use ipu_sim::model::IpuModel;
+use json::Json;
 use sparse::gen::suitesparse::{by_name, PAPER_MATRICES};
 
 fn main() {
     let args = Args::parse();
     let scale = args.get("--scale", 0.01);
+    let mut reporter = Reporter::from_env("tables23");
 
     header("Table II: benchmark matrices (paper vs synthetic analogue at --scale)");
     println!("matrix\tpaper_rows\tpaper_nnz\tanalogue_rows\tanalogue_nnz\tnnz_per_row\tsymmetric\tspd_diag");
@@ -25,7 +27,16 @@ fn main() {
             a.is_symmetric(1e-10),
             a.has_full_nonzero_diagonal()
         );
+        let mut run = Json::obj(vec![
+            ("kind", Json::from("matrix_inventory")),
+            ("paper_rows", Json::from(info.paper_rows)),
+            ("paper_nnz", Json::from(info.paper_nnz)),
+            ("analogue_rows", Json::from(a.nrows)),
+            ("analogue_nnz", Json::from(a.nnz())),
+        ]);
+        reporter.add_json(info.name, &mut run);
     }
+    reporter.finish();
 
     println!();
     header("Table III: benchmark architectures");

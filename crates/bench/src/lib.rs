@@ -5,11 +5,14 @@
 //! sizes toward paper scale and print tab-separated series suitable for
 //! plotting.
 
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use dsl::prelude::*;
 use graphene_core::dist::DistSystem;
+use graphene_core::runner::SolveResult;
 use ipu_sim::clock::Phase;
+use json::Json;
 use sparse::formats::CsrMatrix;
 use sparse::gen::Grid3;
 use sparse::partition::Partition;
@@ -50,6 +53,103 @@ pub struct SpmvMeasurement {
     pub block_copies: usize,
 }
 
+impl SpmvMeasurement {
+    /// Machine-readable form for [`Reporter`] runs.
+    pub fn to_value(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::from("spmv")),
+            ("total_cycles", Json::from(self.total_cycles)),
+            ("compute_cycles", Json::from(self.compute_cycles)),
+            ("exchange_cycles", Json::from(self.exchange_cycles)),
+            ("sync_cycles", Json::from(self.sync_cycles)),
+            ("seconds", Json::from(self.seconds)),
+            ("halo_elements", Json::from(self.halo_elements)),
+            ("block_copies", Json::from(self.block_copies)),
+        ])
+    }
+}
+
+/// Collects per-run [`SolveReport`](profile::SolveReport)s / measurements
+/// from one evaluation binary and, when `GRAPHENE_REPORT=<dir>` is set,
+/// writes them as `<dir>/<bin>.json` on [`Reporter::finish`].
+///
+/// The JSON shape is `{"bin": <name>, "runs": [<run>, ...]}` where each
+/// run is either a full SolveReport object (see DESIGN.md §profiling) or
+/// an ad-hoc object tagged with `"label"`.
+pub struct Reporter {
+    bin: String,
+    dir: Option<PathBuf>,
+    runs: Vec<Json>,
+}
+
+impl Reporter {
+    /// A reporter for binary `bin`; inert unless `GRAPHENE_REPORT` is set.
+    pub fn from_env(bin: &str) -> Reporter {
+        Reporter { bin: bin.to_string(), dir: profile::report_dir_from_env(), runs: Vec::new() }
+    }
+
+    /// Whether reports will actually be written.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Record a full solve under `label` (stores its [`profile::SolveReport`]).
+    pub fn add_solve(&mut self, label: &str, res: &SolveResult) {
+        if self.dir.is_none() {
+            return;
+        }
+        let mut report = res.report.clone();
+        report.name = format!("{}/{label}", self.bin);
+        self.runs.push(report.to_value());
+    }
+
+    /// Record an SpMV measurement under `label`.
+    pub fn add_spmv(&mut self, label: &str, m: &SpmvMeasurement) {
+        let mut v = m.to_value();
+        self.add_json(label, &mut v);
+    }
+
+    /// Record an arbitrary JSON object under `label`.
+    ///
+    /// `value` should be an object; the label is spliced in as `"label"`.
+    pub fn add_json(&mut self, label: &str, value: &mut Json) {
+        if self.dir.is_none() {
+            return;
+        }
+        if let Json::Obj(fields) = value {
+            fields.insert(0, ("label".to_string(), Json::from(label)));
+        }
+        self.runs.push(value.clone());
+    }
+
+    /// Write `<dir>/<bin>.json` (pretty) when reporting is enabled.
+    ///
+    /// Returns the path written, if any. Errors are reported to stderr
+    /// rather than panicking: a failed report must not fail the benchmark.
+    pub fn finish(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let doc = Json::obj(vec![
+            ("bin", Json::from(self.bin.as_str())),
+            ("runs", Json::Arr(self.runs.clone())),
+        ]);
+        let path = dir.join(format!("{}.json", self.bin));
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[graphene] cannot create report dir {}: {e}", dir.display());
+            return None;
+        }
+        match std::fs::write(&path, doc.to_pretty()) {
+            Ok(()) => {
+                eprintln!("[graphene] wrote solve report {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[graphene] cannot write report {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
 /// Run one SpMV on the simulated machine and report its cycle profile.
 ///
 /// `partition` defaults to a geometric box decomposition when `grid` is
@@ -87,8 +187,17 @@ pub fn measure_spmv_with_partition(
     let halo_elements = sys.halo_volume();
     let block_copies = sys.halo.num_block_copies();
     let mut engine = ctx.build_engine().expect("spmv program compiles");
+    // GRAPHENE_TRACE=<path> drops a Chrome trace + text report per
+    // measurement (sequence-numbered across runs in one process).
+    let trace_path = profile::next_trace_path();
+    if trace_path.is_some() {
+        engine.set_trace(profile::TraceRecorder::new());
+    }
     sys.upload(&mut engine);
     engine.run();
+    if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
+        profile::write_trace_artifacts(path, trace, engine.stats(), 12);
+    }
     let stats = engine.stats();
     SpmvMeasurement {
         total_cycles: stats.device_cycles(),
@@ -179,14 +288,18 @@ pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32)
         record_history: true,
         partition: None,
     };
+    // "Fig 9" -> "fig9": the GRAPHENE_REPORT file name for this figure.
+    let mut reporter = Reporter::from_env(&fig.to_lowercase().replace(' ', ""));
     for (name, cfg) in configs {
         let res = solve(a.clone(), &b, &cfg, &opts);
+        reporter.add_solve(name, &res);
         println!("## config {name}: final residual {:.3e}", res.residual);
         println!("config\titer\trel_residual");
         for (it, r) in &res.history {
             println!("{name}\t{it}\t{r:.6e}");
         }
     }
+    reporter.finish();
 }
 
 fn mpir_cfg(
@@ -236,5 +349,35 @@ mod tests {
     fn cubic_grid_near_target() {
         let g = cubic_grid(1000);
         assert_eq!((g.nx, g.ny, g.nz), (10, 10, 10));
+    }
+
+    #[test]
+    fn reporter_inert_without_env_and_writes_json_with_it() {
+        // Without GRAPHENE_REPORT the reporter is a no-op.
+        std::env::remove_var("GRAPHENE_REPORT");
+        let mut off = Reporter::from_env("unit");
+        assert!(!off.enabled());
+        let mut v = Json::obj(vec![("x", Json::from(1u64))]);
+        off.add_json("a", &mut v);
+        assert!(off.finish().is_none());
+
+        // With it, finish() writes <dir>/<bin>.json holding all runs.
+        let dir = std::env::temp_dir().join(format!("graphene-report-test-{}", std::process::id()));
+        std::env::set_var("GRAPHENE_REPORT", &dir);
+        let mut on = Reporter::from_env("unit");
+        std::env::remove_var("GRAPHENE_REPORT");
+        assert!(on.enabled());
+        let g = Grid3 { nx: 6, ny: 6, nz: 6 };
+        let a = Rc::new(sparse::gen::poisson_3d_7pt(6, 6, 6));
+        let m = measure_spmv(a, &IpuModel::tiny(4), Some(g), true);
+        on.add_spmv("tiny", &m);
+        let path = on.finish().expect("report written");
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("bin").and_then(|b| b.as_str()), Some("unit"));
+        let runs = doc.get("runs").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].get("label").and_then(|l| l.as_str()), Some("tiny"));
+        assert_eq!(runs[0].get("total_cycles").and_then(|c| c.as_u64()), Some(m.total_cycles));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

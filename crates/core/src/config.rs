@@ -18,69 +18,43 @@
 //!   }
 //! }
 //! ```
+//!
+//! The wire format is internally tagged (`"type"` field, snake_case) and
+//! hand-mapped onto [`json::Json`]; the offline build image cannot fetch
+//! serde, and the explicit mapping also yields better error messages
+//! (unknown fields and types are rejected by name).
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use json::Json;
 
 use crate::solvers::ExtendedPrecision;
 
 /// A recursive solver/preconditioner configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SolverConfig {
     /// `M = I`.
     Identity,
     /// Damped Jacobi: `sweeps` applications of `x += ω D⁻¹ (b − A x)`.
-    Jacobi {
-        sweeps: u32,
-        #[serde(default = "default_omega")]
-        omega: f32,
-    },
+    Jacobi { sweeps: u32, omega: f32 },
     /// Level-set scheduled Gauss-Seidel sweeps. With `rel_tol > 0` it is
     /// a standalone solver that stops once ‖b − A x‖ ≤ rel_tol·‖b‖.
-    GaussSeidel {
-        sweeps: u32,
-        #[serde(default)]
-        symmetric: bool,
-        #[serde(default)]
-        rel_tol: f32,
-    },
+    GaussSeidel { sweeps: u32, symmetric: bool, rel_tol: f32 },
     /// Chebyshev polynomial smoother of the given degree on the interval
     /// [λmax/eig_ratio, λmax] (λmax estimated at setup).
-    Chebyshev {
-        degree: u32,
-        #[serde(default = "default_eig_ratio")]
-        eig_ratio: f64,
-    },
+    Chebyshev { degree: u32, eig_ratio: f64 },
     /// ILU(0) factorisation + substitution.
     Ilu0 {},
     /// Diagonal-based incomplete LU.
     Dilu {},
     /// Preconditioned Conjugate Gradient (SPD systems). `rel_tol = 0`
     /// runs exactly `max_iters` iterations.
-    Cg {
-        max_iters: u32,
-        #[serde(default)]
-        rel_tol: f32,
-        #[serde(default)]
-        precond: Option<Box<SolverConfig>>,
-    },
+    Cg { max_iters: u32, rel_tol: f32, precond: Option<Box<SolverConfig>> },
     /// Preconditioned BiCGStab. `rel_tol = 0` runs exactly `max_iters`
     /// iterations.
-    BiCgStab {
-        max_iters: u32,
-        #[serde(default)]
-        rel_tol: f32,
-        #[serde(default)]
-        precond: Option<Box<SolverConfig>>,
-    },
+    BiCgStab { max_iters: u32, rel_tol: f32, precond: Option<Box<SolverConfig>> },
     /// Mixed-precision iterative refinement around an inner solver.
-    Mpir {
-        inner: Box<SolverConfig>,
-        precision: ExtendedPrecision,
-        max_outer: u32,
-        #[serde(default)]
-        rel_tol: f64,
-    },
+    Mpir { inner: Box<SolverConfig>, precision: ExtendedPrecision, max_outer: u32, rel_tol: f64 },
 }
 
 fn default_omega() -> f32 {
@@ -91,15 +65,129 @@ fn default_eig_ratio() -> f64 {
     30.0
 }
 
+/// Error produced when parsing a [`SolverConfig`]: either malformed JSON
+/// (with position) or a well-formed document that does not describe a
+/// solver (with a field-level message).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    Json(json::JsonError),
+    Schema(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Json(e) => write!(f, "{e}"),
+            ConfigError::Schema(msg) => write!(f, "solver config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<json::JsonError> for ConfigError {
+    fn from(e: json::JsonError) -> ConfigError {
+        ConfigError::Json(e)
+    }
+}
+
+fn schema(msg: impl Into<String>) -> ConfigError {
+    ConfigError::Schema(msg.into())
+}
+
 impl SolverConfig {
     /// Parse from JSON.
-    pub fn from_json(json: &str) -> Result<SolverConfig, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<SolverConfig, ConfigError> {
+        SolverConfig::from_value(&Json::parse(text)?)
     }
 
     /// Serialise to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("solver config serialises")
+        self.to_value().to_pretty()
+    }
+
+    /// Build from an already-parsed JSON value.
+    pub fn from_value(v: &Json) -> Result<SolverConfig, ConfigError> {
+        let fields = Fields::new(v)?;
+        let cfg = match fields.tag {
+            "identity" => SolverConfig::Identity,
+            "jacobi" => SolverConfig::Jacobi {
+                sweeps: fields.u32("sweeps")?,
+                omega: fields.f32_or("omega", default_omega())?,
+            },
+            "gauss_seidel" => SolverConfig::GaussSeidel {
+                sweeps: fields.u32("sweeps")?,
+                symmetric: fields.bool_or("symmetric", false)?,
+                rel_tol: fields.f32_or("rel_tol", 0.0)?,
+            },
+            "chebyshev" => SolverConfig::Chebyshev {
+                degree: fields.u32("degree")?,
+                eig_ratio: fields.f64_or("eig_ratio", default_eig_ratio())?,
+            },
+            "ilu0" => SolverConfig::Ilu0 {},
+            "dilu" => SolverConfig::Dilu {},
+            "cg" => SolverConfig::Cg {
+                max_iters: fields.u32("max_iters")?,
+                rel_tol: fields.f32_or("rel_tol", 0.0)?,
+                precond: fields.precond()?,
+            },
+            "bi_cg_stab" => SolverConfig::BiCgStab {
+                max_iters: fields.u32("max_iters")?,
+                rel_tol: fields.f32_or("rel_tol", 0.0)?,
+                precond: fields.precond()?,
+            },
+            "mpir" => SolverConfig::Mpir {
+                inner: Box::new(SolverConfig::from_value(fields.required("inner")?)?),
+                precision: precision_from_str(
+                    fields
+                        .required("precision")?
+                        .as_str()
+                        .ok_or_else(|| schema("'precision' must be a string"))?,
+                )?,
+                max_outer: fields.u32("max_outer")?,
+                rel_tol: fields.f64_or("rel_tol", 0.0)?,
+            },
+            other => return Err(schema(format!("unknown solver type '{other}'"))),
+        };
+        Ok(cfg)
+    }
+
+    /// Lower to a JSON value (internally tagged, snake_case).
+    pub fn to_value(&self) -> Json {
+        match self {
+            SolverConfig::Identity => Json::obj([("type", Json::from("identity"))]),
+            SolverConfig::Jacobi { sweeps, omega } => Json::obj([
+                ("type", Json::from("jacobi")),
+                ("sweeps", Json::from(*sweeps)),
+                ("omega", Json::from(*omega)),
+            ]),
+            SolverConfig::GaussSeidel { sweeps, symmetric, rel_tol } => Json::obj([
+                ("type", Json::from("gauss_seidel")),
+                ("sweeps", Json::from(*sweeps)),
+                ("symmetric", Json::from(*symmetric)),
+                ("rel_tol", Json::from(*rel_tol)),
+            ]),
+            SolverConfig::Chebyshev { degree, eig_ratio } => Json::obj([
+                ("type", Json::from("chebyshev")),
+                ("degree", Json::from(*degree)),
+                ("eig_ratio", Json::from(*eig_ratio)),
+            ]),
+            SolverConfig::Ilu0 {} => Json::obj([("type", Json::from("ilu0"))]),
+            SolverConfig::Dilu {} => Json::obj([("type", Json::from("dilu"))]),
+            SolverConfig::Cg { max_iters, rel_tol, precond } => {
+                krylov_value("cg", *max_iters, *rel_tol, precond)
+            }
+            SolverConfig::BiCgStab { max_iters, rel_tol, precond } => {
+                krylov_value("bi_cg_stab", *max_iters, *rel_tol, precond)
+            }
+            SolverConfig::Mpir { inner, precision, max_outer, rel_tol } => Json::obj([
+                ("type", Json::from("mpir")),
+                ("inner", inner.to_value()),
+                ("precision", Json::from(precision_name(*precision))),
+                ("max_outer", Json::from(*max_outer)),
+                ("rel_tol", Json::from(*rel_tol)),
+            ]),
+        }
     }
 
     /// The paper's flagship configuration:
@@ -124,6 +212,96 @@ impl SolverConfig {
             | SolverConfig::Cg { precond: Some(p), .. } => 1 + p.depth(),
             SolverConfig::Mpir { inner, .. } => 1 + inner.depth(),
             _ => 1,
+        }
+    }
+}
+
+fn krylov_value(
+    tag: &str,
+    max_iters: u32,
+    rel_tol: f32,
+    precond: &Option<Box<SolverConfig>>,
+) -> Json {
+    let mut pairs = vec![
+        ("type".to_string(), Json::from(tag)),
+        ("max_iters".to_string(), Json::from(max_iters)),
+        ("rel_tol".to_string(), Json::from(rel_tol)),
+    ];
+    if let Some(p) = precond {
+        pairs.push(("precond".to_string(), p.to_value()));
+    }
+    Json::Obj(pairs)
+}
+
+/// snake_case wire name of an [`ExtendedPrecision`].
+pub fn precision_name(p: ExtendedPrecision) -> &'static str {
+    match p {
+        ExtendedPrecision::Working => "working",
+        ExtendedPrecision::DoubleWord => "double_word",
+        ExtendedPrecision::EmulatedF64 => "emulated_f64",
+    }
+}
+
+fn precision_from_str(s: &str) -> Result<ExtendedPrecision, ConfigError> {
+    match s {
+        "working" => Ok(ExtendedPrecision::Working),
+        "double_word" => Ok(ExtendedPrecision::DoubleWord),
+        "emulated_f64" => Ok(ExtendedPrecision::EmulatedF64),
+        other => Err(schema(format!("unknown precision '{other}'"))),
+    }
+}
+
+/// Field accessor over one JSON object with its `"type"` tag extracted.
+struct Fields<'a> {
+    tag: &'a str,
+    obj: &'a Json,
+}
+
+impl<'a> Fields<'a> {
+    fn new(v: &'a Json) -> Result<Fields<'a>, ConfigError> {
+        if v.as_obj().is_none() {
+            return Err(schema("solver config must be a JSON object"));
+        }
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("missing string field 'type'"))?;
+        Ok(Fields { tag, obj: v })
+    }
+
+    fn required(&self, key: &str) -> Result<&'a Json, ConfigError> {
+        self.obj.get(key).ok_or_else(|| schema(format!("'{}' requires field '{key}'", self.tag)))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ConfigError> {
+        self.required(key)?
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| schema(format!("'{key}' must be a non-negative integer")))
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, ConfigError> {
+        match self.obj.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or_else(|| schema(format!("'{key}' must be a number"))),
+        }
+    }
+
+    fn f32_or(&self, key: &str, default: f32) -> Result<f32, ConfigError> {
+        self.f64_or(key, default as f64).map(|v| v as f32)
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool, ConfigError> {
+        match self.obj.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_bool().ok_or_else(|| schema(format!("'{key}' must be a boolean"))),
+        }
+    }
+
+    fn precond(&self) -> Result<Option<Box<SolverConfig>>, ConfigError> {
+        match self.obj.get("precond") {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => Ok(Some(Box::new(SolverConfig::from_value(v)?))),
         }
     }
 }
@@ -188,5 +366,25 @@ mod tests {
     #[test]
     fn unknown_type_rejected() {
         assert!(SolverConfig::from_json(r#"{"type":"amg"}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_json_has_position() {
+        match SolverConfig::from_json("{\"type\": ").unwrap_err() {
+            ConfigError::Json(e) => assert_eq!(e.line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_field_named_in_error() {
+        let err = SolverConfig::from_json(r#"{"type":"jacobi"}"#).unwrap_err();
+        assert!(err.to_string().contains("sweeps"), "{err}");
+    }
+
+    #[test]
+    fn null_precond_is_none() {
+        let cfg = SolverConfig::from_json(r#"{"type":"cg","max_iters":5,"precond":null}"#).unwrap();
+        assert_eq!(cfg, SolverConfig::Cg { max_iters: 5, rel_tol: 0.0, precond: None });
     }
 }

@@ -9,6 +9,7 @@ use std::rc::Rc;
 
 use dsl::prelude::*;
 use ipu_sim::clock::CycleStats;
+use profile::{SolveReport, TraceRecorder};
 use sparse::formats::CsrMatrix;
 use sparse::partition::Partition;
 
@@ -68,6 +69,9 @@ pub struct SolveResult {
     pub stats: CycleStats,
     /// Device time in seconds at the machine's clock.
     pub seconds: f64,
+    /// Machine-readable profile + convergence record of this solve;
+    /// label totals partition `stats.device_cycles()` exactly.
+    pub report: SolveReport,
 }
 
 /// Solve `A x = b` with the configured solver hierarchy on the simulated
@@ -114,28 +118,46 @@ pub fn solve(
     let x_ext = solver.as_any().downcast_mut::<Mpir>().and_then(|m| m.x_ext);
 
     let mut engine = ctx.build_engine().expect("solver program compiles");
+    // Tracing is opt-in via GRAPHENE_TRACE=<path>: record a timeline
+    // alongside the cycle accounting and drop a Chrome trace + a text
+    // profile report next to it after the run.
+    let trace_path = profile::next_trace_path();
+    if trace_path.is_some() {
+        engine.set_trace(TraceRecorder::new());
+    }
     sys.upload(&mut engine);
     engine.write_tensor(bt.id, &sys.to_device_order(b));
     engine.run();
+    if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
+        let report = profile::write_trace_artifacts(path, trace, engine.stats(), 12);
+        eprint!("{report}");
+    }
 
     let raw = engine.read_tensor(x_ext.map(|t| t.id).unwrap_or(xt.id));
     let x = sys.from_device_order(&raw);
     // Residual against the system as the device sees it (f32-rounded data,
     // f64 arithmetic) — see `Monitor` for why.
     let ax = monitor.a.spmv_alloc(&x);
-    let r2: f64 =
-        monitor.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
+    let r2: f64 = monitor.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
     let b2: f64 = monitor.b.iter().map(|v| v * v).sum();
     let residual = (r2 / b2.max(f64::MIN_POSITIVE)).sqrt();
 
-    SolveResult {
-        x,
-        residual,
-        history: monitor.take_history(),
-        iterations: monitor.iterations(),
-        stats: engine.stats().clone(),
-        seconds: engine.elapsed_seconds(),
-    }
+    let history = monitor.take_history();
+    let iterations = monitor.iterations();
+    let stats = engine.stats().clone();
+    let seconds = engine.elapsed_seconds();
+
+    let mut report = SolveReport::new("solve").with_stats(&stats);
+    report.solver = config.to_value();
+    report.n = a.nrows;
+    report.nnz = a.nnz();
+    report.tiles = tiles;
+    report.iterations = iterations;
+    report.final_residual = residual;
+    report.seconds = seconds;
+    report.history = history.clone();
+
+    SolveResult { x, residual, history, iterations, stats, seconds, report }
 }
 
 #[cfg(test)]
@@ -144,11 +166,7 @@ mod tests {
     use sparse::gen::{poisson_2d_5pt, poisson_3d_7pt, rhs_for_ones, tridiagonal};
 
     fn opts(tiles: usize) -> SolveOptions {
-        SolveOptions {
-            model: IpuModel::tiny(tiles),
-            tiles: Some(tiles),
-            ..SolveOptions::default()
-        }
+        SolveOptions { model: IpuModel::tiny(tiles), tiles: Some(tiles), ..SolveOptions::default() }
     }
 
     #[test]
@@ -224,12 +242,7 @@ mod tests {
         let r1 = solve(a.clone(), &b, &plain, &opts(2));
         let r2 = solve(a, &b, &pre, &opts(2));
         assert!(r2.residual < 2e-6);
-        assert!(
-            r2.iterations < r1.iterations,
-            "ilu {} vs plain {}",
-            r2.iterations,
-            r1.iterations
-        );
+        assert!(r2.iterations < r1.iterations, "ilu {} vs plain {}", r2.iterations, r1.iterations);
     }
 
     #[test]
@@ -237,8 +250,7 @@ mod tests {
         // GS as a standalone solver with a residual check per sweep.
         let a = Rc::new(poisson_2d_5pt(6, 6, 1.0));
         let b = rhs_for_ones(&a);
-        let cfg =
-            SolverConfig::GaussSeidel { sweeps: 500, symmetric: false, rel_tol: 1e-4 };
+        let cfg = SolverConfig::GaussSeidel { sweeps: 500, symmetric: false, rel_tol: 1e-4 };
         let res = solve(a, &b, &cfg, &opts(2));
         assert!(res.residual < 1.5e-4, "residual {}", res.residual);
         for v in &res.x {
@@ -253,7 +265,11 @@ mod tests {
         let cfg = SolverConfig::BiCgStab {
             max_iters: 200,
             rel_tol: 1e-5,
-            precond: Some(Box::new(SolverConfig::GaussSeidel { sweeps: 2, symmetric: true, rel_tol: 0.0 })),
+            precond: Some(Box::new(SolverConfig::GaussSeidel {
+                sweeps: 2,
+                symmetric: true,
+                rel_tol: 0.0,
+            })),
         };
         let res = solve(a, &b, &cfg, &opts(3));
         assert!(res.residual < 1e-4, "residual {}", res.residual);

@@ -123,10 +123,7 @@ impl Solver for BiCgStab {
                     // when running fixed-iteration mode for MPIR).
                     let r0v = ctx.scalar("bicg_r0v", DType::F32);
                     ctx.label("reduce", |ctx| ctx.reduce_into(r0v, r0 * v));
-                    ctx.assign(
-                        alpha,
-                        TExpr::select(r0v.ex().eq_(0.0f32), 0.0f32, rho_old / r0v),
-                    );
+                    ctx.assign(alpha, TExpr::select(r0v.ex().eq_(0.0f32), 0.0f32, rho_old / r0v));
                     // s = r - alpha v.
                     ctx.label("elementwise", |ctx| ctx.assign(s, r - v * alpha));
                     // z = M⁻¹ s ; t = A z.
@@ -160,10 +157,7 @@ impl Solver for BiCgStab {
                     // Krylov process from the current residual — the
                     // framework's "early exit due to singularity" path.
                     let brk = ctx.scalar("bicg_breakdown", DType::Bool);
-                    ctx.assign(
-                        brk,
-                        rho.ex().abs().le(res2 * 1e-8f32).or(omega.ex().eq_(0.0f32)),
-                    );
+                    ctx.assign(brk, rho.ex().abs().le(res2 * 1e-8f32).or(omega.ex().eq_(0.0f32)));
                     ctx.if_else(
                         brk,
                         |ctx| {

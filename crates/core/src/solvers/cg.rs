@@ -89,10 +89,7 @@ impl Solver for Cg {
                     ctx.label("spmv", |ctx| sys.spmv(ctx, q, p));
                     let pq = ctx.scalar("cg_pq", DType::F32);
                     ctx.label("reduce", |ctx| ctx.reduce_into(pq, p * q));
-                    ctx.assign(
-                        alpha,
-                        TExpr::select(pq.ex().eq_(0.0f32), 0.0f32, rz_old / pq),
-                    );
+                    ctx.assign(alpha, TExpr::select(pq.ex().eq_(0.0f32), 0.0f32, rz_old / pq));
                     ctx.label("elementwise", |ctx| {
                         ctx.assign(x, x + p * alpha);
                         ctx.assign(r, r - q * alpha);
@@ -106,10 +103,7 @@ impl Solver for Cg {
                     }
                     let beta = ctx.scalar("cg_beta", DType::F32);
                     ctx.label("reduce", |ctx| ctx.reduce_into(rz, r * z));
-                    ctx.assign(
-                        beta,
-                        TExpr::select(rz_old.ex().eq_(0.0f32), 0.0f32, rz / rz_old),
-                    );
+                    ctx.assign(beta, TExpr::select(rz_old.ex().eq_(0.0f32), 0.0f32, rz / rz_old));
                     ctx.label("elementwise", |ctx| ctx.assign(p, z + p * beta));
                     ctx.assign(rz_old, rz.ex());
                     ctx.label("reduce", |ctx| ctx.reduce_into(res2, r * r));

@@ -188,8 +188,7 @@ fn substitution(
             continue;
         }
         let mo = matrix_operands(sys, t);
-        let mut operands =
-            vec![TensorSlice { tensor: out.id, start: vc.start, len: vc.owned }];
+        let mut operands = vec![TensorSlice { tensor: out.id, start: vc.start, len: vc.owned }];
         if !in_place {
             operands.push(TensorSlice { tensor: rhs.id, start: vc.start, len: vc.owned });
         }
@@ -239,11 +238,7 @@ fn ilu0_factorize_codelet() -> graph::codelet::Codelet {
             // Diagonal update: a_ii -= l_ik * a_ki.
             cb.for_(klo.clone(), khi.clone(), Val::i32(1), |cb, mm| {
                 cb.if_(cols.at(mm.clone()).eq_(i.clone()), |cb| {
-                    cb.store(
-                        ldiag,
-                        i.clone(),
-                        ldiag.at(i.clone()) - lik.clone() * lvals.at(mm),
-                    );
+                    cb.store(ldiag, i.clone(), ldiag.at(i.clone()) - lik.clone() * lvals.at(mm));
                 });
             });
             // Row updates: a_ij -= l_ik * a_kj for j > k in the pattern.

@@ -21,8 +21,11 @@ use crate::dist::DistSystem;
 use crate::solvers::{zero, Monitor, Solver};
 
 /// Which arithmetic carries MPIR steps 1 and 3.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-#[serde(rename_all = "snake_case")]
+///
+/// Wire names (used by the JSON solver config, see
+/// `config::precision_name`): `"working"`, `"double_word"`,
+/// `"emulated_f64"`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExtendedPrecision {
     /// f32 — plain iterative refinement, no precision gain (control).
     Working,

@@ -226,7 +226,11 @@ impl Solver for TwoGrid {
                     operands: vec![
                         TensorSlice { tensor: built.rc.id, start: cc.start, len: cc.owned },
                         TensorSlice { tensor: built.r_fine.id, start: fc.start, len: fc.owned },
-                        TensorSlice { tensor: built.restrict_map.id, start: rm.start, len: rm.owned },
+                        TensorSlice {
+                            tensor: built.restrict_map.id,
+                            start: rm.start,
+                            len: rm.owned,
+                        },
                     ],
                     kind: VertexKind::Simple,
                 });
@@ -236,7 +240,11 @@ impl Solver for TwoGrid {
                     operands: vec![
                         TensorSlice { tensor: x.id, start: fc.start, len: fc.owned },
                         TensorSlice { tensor: built.xc.id, start: cc.start, len: cc.owned },
-                        TensorSlice { tensor: built.prolong_map.id, start: pm.start, len: pm.owned },
+                        TensorSlice {
+                            tensor: built.prolong_map.id,
+                            start: pm.start,
+                            len: pm.owned,
+                        },
                     ],
                     kind: VertexKind::Simple,
                 });
@@ -307,12 +315,7 @@ mod tests {
         e.write_tensor(b.id, &sys.to_device_order(&bs));
         e.run();
         let got = sys.from_device_order(&e.read_tensor(x.id));
-        let r2: f64 = a
-            .spmv_alloc(&got)
-            .iter()
-            .zip(&bs)
-            .map(|(ax, b)| (ax - b) * (ax - b))
-            .sum();
+        let r2: f64 = a.spmv_alloc(&got).iter().zip(&bs).map(|(ax, b)| (ax - b) * (ax - b)).sum();
         let b2: f64 = bs.iter().map(|v| v * v).sum();
         (r2 / b2).sqrt()
     }

@@ -1,0 +1,83 @@
+//! Integration tests of the profiling pipeline on *real* solves: the
+//! SolveReport returned by `runner::solve` must partition the device
+//! cycles exactly (the invariant the Chrome trace, text report and JSON
+//! reports all rely on).
+
+use std::rc::Rc;
+
+use graphene_core::config::SolverConfig;
+use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use ipu_sim::clock::Phase;
+use ipu_sim::model::IpuModel;
+use profile::SolveReport;
+use sparse::gen::{poisson_2d_5pt, rhs_for_ones};
+
+fn run_pbicgstab(tiles: usize) -> SolveResult {
+    let a = Rc::new(poisson_2d_5pt(12, 12, 1.0));
+    let b = rhs_for_ones(&a);
+    let cfg = SolverConfig::BiCgStab {
+        max_iters: 40,
+        rel_tol: 1e-8,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    let opts = SolveOptions {
+        model: IpuModel::tiny(tiles),
+        tiles: Some(tiles),
+        ..SolveOptions::default()
+    };
+    solve(a, &b, &cfg, &opts)
+}
+
+#[test]
+fn label_totals_partition_device_cycles_on_real_solve() {
+    let res = run_pbicgstab(4);
+    assert!(res.stats.device_cycles() > 0);
+    // The acceptance invariant: per-label cycle totals (including the
+    // explicit unlabelled bucket) sum exactly to device_cycles.
+    assert_eq!(res.report.labels_total(), res.stats.device_cycles());
+    assert_eq!(res.report.cycles.device, res.stats.device_cycles());
+    // Phase splits agree with the raw stats.
+    assert_eq!(res.report.cycles.compute, res.stats.phase_cycles(Phase::Compute));
+    assert_eq!(res.report.cycles.exchange, res.stats.phase_cycles(Phase::Exchange));
+    assert_eq!(res.report.cycles.sync, res.stats.phase_cycles(Phase::Sync));
+    assert_eq!(
+        res.report.cycles.device,
+        res.report.cycles.compute + res.report.cycles.exchange + res.report.cycles.sync
+    );
+    // Each label's own phase split is internally consistent too.
+    for l in &res.report.labels {
+        assert_eq!(l.total, l.compute + l.exchange + l.sync, "label {}", l.name);
+    }
+    // A preconditioned solve attributes real work to solver labels.
+    assert!(
+        res.report.labels.iter().any(|l| l.name != profile::UNLABELLED && l.total > 0),
+        "expected at least one labelled bucket"
+    );
+}
+
+#[test]
+fn solve_report_round_trips_through_json() {
+    let res = run_pbicgstab(4);
+    let text = res.report.to_json();
+    let back = SolveReport::from_json(&text).expect("report parses");
+    assert_eq!(back, res.report);
+    assert_eq!(back.labels_total(), res.stats.device_cycles());
+    // Convergence history survives the round trip.
+    assert_eq!(back.history, res.history);
+    assert_eq!(back.iterations, res.iterations);
+}
+
+#[test]
+fn report_matrix_and_machine_metadata_are_filled() {
+    let res = run_pbicgstab(4);
+    assert_eq!(res.report.n, 144);
+    assert!(res.report.nnz > 0);
+    assert_eq!(res.report.tiles, 4);
+    assert!(res.report.final_residual < 1e-6);
+    assert!(res.report.seconds > 0.0);
+    assert_eq!(
+        res.report.solver.get("type").and_then(|t| t.as_str()),
+        Some("bi_cg_stab"),
+        "solver config embedded"
+    );
+}

@@ -1,0 +1,67 @@
+//! End-to-end test of `GRAPHENE_TRACE` gating: a real solve with the env
+//! var set must leave behind (a) a Chrome trace-event JSON that Perfetto
+//! can load and (b) the PopVision-style text report next to it.
+//!
+//! This lives in its own integration-test binary so the env-var mutation
+//! cannot race other tests (each file under `tests/` is its own process,
+//! and this file holds exactly one test).
+
+use std::rc::Rc;
+
+use graphene_core::config::SolverConfig;
+use graphene_core::runner::{solve, SolveOptions};
+use ipu_sim::model::IpuModel;
+use sparse::gen::{poisson_2d_5pt, rhs_for_ones};
+
+#[test]
+fn graphene_trace_emits_chrome_trace_and_text_report() {
+    let dir = std::env::temp_dir().join(format!("graphene-trace-test-{}", std::process::id()));
+    let trace_path = dir.join("solve.trace.json");
+    std::env::set_var("GRAPHENE_TRACE", &trace_path);
+
+    let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+    let b = rhs_for_ones(&a);
+    let cfg = SolverConfig::Cg {
+        max_iters: 30,
+        rel_tol: 1e-6,
+        precond: Some(Box::new(SolverConfig::Jacobi { sweeps: 2, omega: 2.0 / 3.0 })),
+    };
+    let opts = SolveOptions { model: IpuModel::tiny(4), tiles: Some(4), ..SolveOptions::default() };
+    let res = solve(a, &b, &cfg, &opts);
+    std::env::remove_var("GRAPHENE_TRACE");
+
+    // (a) Chrome trace: valid JSON, non-empty, monotone timestamps, and
+    // its device_cycles matches the run.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = json::Json::parse(&text).expect("trace is valid JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has events");
+    let mut last_ts = 0.0f64;
+    let mut saw_slice = false;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        if ph == "X" {
+            let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("slice has ts");
+            assert!(ts >= last_ts, "ts must be monotonically non-decreasing");
+            last_ts = ts;
+            saw_slice = true;
+            assert!(ev.get("dur").and_then(|d| d.as_f64()).unwrap_or(-1.0) >= 0.0);
+        }
+    }
+    assert!(saw_slice, "trace contains complete (ph=X) slices");
+    let dev = doc
+        .get("otherData")
+        .and_then(|o| o.get("device_cycles"))
+        .and_then(|d| d.as_u64())
+        .expect("otherData.device_cycles");
+    assert_eq!(dev, res.stats.device_cycles());
+
+    // (b) Text report beside the trace.
+    let report_path = trace_path.with_extension("report.txt");
+    let report = std::fs::read_to_string(&report_path).expect("text report written");
+    assert!(report.contains("graphene profile"), "report header present");
+    assert!(report.contains("phase breakdown"), "phase table present");
+    assert!(report.contains("tile utilisation"), "tile histogram present");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

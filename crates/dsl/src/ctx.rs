@@ -44,7 +44,12 @@ pub struct DslCtx {
 
 impl DslCtx {
     pub fn new(model: IpuModel) -> Self {
-        DslCtx { graph: Graph::new(model), frames: vec![Vec::new()], fresh: 0, callbacks: Vec::new() }
+        DslCtx {
+            graph: Graph::new(model),
+            frames: vec![Vec::new()],
+            fresh: 0,
+            callbacks: Vec::new(),
+        }
     }
 
     pub fn model(&self) -> &IpuModel {
@@ -277,11 +282,7 @@ impl DslCtx {
                         Expr::bin(graph::codelet::BinOp::Add, Expr::Local(1), body_expr),
                     )],
                 },
-                Stmt::Store {
-                    param: 0,
-                    index: Expr::Const(Value::I32(0)),
-                    value: Expr::Local(1),
-                },
+                Stmt::Store { param: 0, index: Expr::Const(Value::I32(0)), value: Expr::Local(1) },
             ],
         };
         let stage1 = self.graph.add_codelet(stage1).expect("reduce stage 1");
@@ -301,7 +302,12 @@ impl DslCtx {
                     operands.push(TensorSlice { tensor: l.id, start: lc.start, len: lc.owned });
                 }
             }
-            cs1.add(Vertex { tile: chunk.tile, codelet: stage1, operands, kind: VertexKind::Simple });
+            cs1.add(Vertex {
+                tile: chunk.tile,
+                codelet: stage1,
+                operands,
+                kind: VertexKind::Simple,
+            });
         }
         let cs1 = self.graph.add_compute_set(cs1).expect("reduce cs1");
         self.emit(Prog::Execute(cs1));
@@ -394,11 +400,7 @@ impl DslCtx {
                         ),
                     )],
                 },
-                Stmt::Store {
-                    param: 0,
-                    index: Expr::Const(Value::I32(0)),
-                    value: Expr::Local(1),
-                },
+                Stmt::Store { param: 0, index: Expr::Const(Value::I32(0)), value: Expr::Local(1) },
             ],
         };
         self.graph.add_codelet(c).expect("sum codelet")
@@ -517,11 +519,8 @@ impl DslCtx {
     pub fn build_engine(mut self) -> Result<Engine, CompileError> {
         assert_eq!(self.frames.len(), 1, "unbalanced control-flow stack");
         let steps = self.frames.pop().unwrap();
-        let program = if steps.len() == 1 {
-            steps.into_iter().next().unwrap()
-        } else {
-            Prog::Seq(steps)
-        };
+        let program =
+            if steps.len() == 1 { steps.into_iter().next().unwrap() } else { Prog::Seq(steps) };
         let exec = self.graph.compile(program)?;
         let mut engine = Engine::new(exec);
         for (id, cb) in self.callbacks {
@@ -567,4 +566,3 @@ fn zero_const(dtype: DType) -> Value {
         DType::F64Emulated => Value::F64(0.0),
     }
 }
-

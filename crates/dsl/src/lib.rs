@@ -221,7 +221,11 @@ mod tests {
         let out = ctx.scalar("out", DType::F32);
         let pred = ctx.scalar("pred", DType::Bool);
         ctx.assign(pred, x.ex().lt(3.0f32));
-        ctx.if_else(pred, |c| c.assign(out, TExpr::c_f32(1.0)), |c| c.assign(out, TExpr::c_f32(2.0)));
+        ctx.if_else(
+            pred,
+            |c| c.assign(out, TExpr::c_f32(1.0)),
+            |c| c.assign(out, TExpr::c_f32(2.0)),
+        );
         let mut e = ctx.build_engine().unwrap();
         e.write_scalar(x.id, 5.0);
         e.run();

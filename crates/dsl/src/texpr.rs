@@ -123,7 +123,12 @@ impl TExpr {
             TExpr::Bin(op, a, b) => {
                 if matches!(
                     op,
-                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                    BinOp::Eq
+                        | BinOp::Ne
+                        | BinOp::Lt
+                        | BinOp::Le
+                        | BinOp::Gt
+                        | BinOp::Ge
                         | BinOp::And
                         | BinOp::Or
                 ) {

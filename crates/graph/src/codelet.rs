@@ -288,14 +288,31 @@ pub enum Expr {
     /// Number of elements of a parameter slice (known per vertex).
     ParamLen(ParamId),
     /// Load `param[index]`.
-    Index { param: ParamId, index: Box<Expr> },
-    Unary { op: UnOp, arg: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Index {
+        param: ParamId,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        arg: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Explicit type conversion.
-    Convert { to: DType, arg: Box<Expr> },
+    Convert {
+        to: DType,
+        arg: Box<Expr>,
+    },
     /// `cond ? then : otherwise` (both sides evaluated on the IPU's
     /// branch-free select).
-    Select { cond: Box<Expr>, then: Box<Expr>, otherwise: Box<Expr> },
+    Select {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        otherwise: Box<Expr>,
+    },
 }
 
 impl Expr {
@@ -322,15 +339,37 @@ pub enum Stmt {
     /// `locals[id] = expr`.
     SetLocal(LocalId, Expr),
     /// `param[index] = value`.
-    Store { param: ParamId, index: Expr, value: Expr },
-    If { cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt> },
-    While { cond: Expr, body: Vec<Stmt> },
+    Store {
+        param: ParamId,
+        index: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        otherwise: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     /// `for local = start; local < end; local += step`.
-    For { local: LocalId, start: Expr, end: Expr, step: Expr, body: Vec<Stmt> },
+    For {
+        local: LocalId,
+        start: Expr,
+        end: Expr,
+        step: Expr,
+        body: Vec<Stmt>,
+    },
     /// Like `For`, but iterations are independent and spread across the
     /// tile's worker threads: executed sequentially (deterministic), costed
     /// as `spawn + ceil(body cycles / workers)`.
-    ParFor { local: LocalId, start: Expr, end: Expr, body: Vec<Stmt> },
+    ParFor {
+        local: LocalId,
+        start: Expr,
+        end: Expr,
+        body: Vec<Stmt>,
+    },
 }
 
 /// Declared parameter of a codelet.
@@ -391,10 +430,8 @@ impl Codelet {
                         check_expr(c, e)?;
                     }
                     Stmt::Store { param, index, value } => {
-                        let decl = c
-                            .params
-                            .get(*param)
-                            .ok_or(format!("param {param} out of range"))?;
+                        let decl =
+                            c.params.get(*param).ok_or(format!("param {param} out of range"))?;
                         if !decl.mutable {
                             return Err(format!("store to immutable param {param} in {}", c.name));
                         }
@@ -531,8 +568,7 @@ impl<'a, 'b> Interp<'a, 'b> {
                 // Mixed double-word ⊗ single-word ops use the cheaper
                 // Joldes DW⊗FP algorithms (cost only; the value is computed
                 // at full pair precision either way).
-                let mixed = dt == DType::DoubleWord
-                    && (da == DType::F32 || db == DType::F32);
+                let mixed = dt == DType::DoubleWord && (da == DType::F32 || db == DType::F32);
                 self.cycles += if mixed {
                     self.cost.op_cycles_mixed_dw(op.cost_op())
                 } else {
@@ -587,16 +623,14 @@ impl<'a, 'b> Interp<'a, 'b> {
                     self.exec_block(otherwise);
                 }
             }
-            Stmt::While { cond, body } => {
-                loop {
-                    let c = self.eval(cond).as_bool();
-                    self.cycles += self.cost.op_cycles(Op::Branch, DType::Bool);
-                    if !c {
-                        break;
-                    }
-                    self.exec_block(body);
+            Stmt::While { cond, body } => loop {
+                let c = self.eval(cond).as_bool();
+                self.cycles += self.cost.op_cycles(Op::Branch, DType::Bool);
+                if !c {
+                    break;
                 }
-            }
+                self.exec_block(body);
+            },
             Stmt::For { local, start, end, step, body } => {
                 let mut i = self.eval(start).as_i64();
                 let e = self.eval(end).as_i64();
@@ -700,15 +734,9 @@ mod tests {
         // Same codelet but with a serial For.
         let mut serial = c.clone();
         if let Stmt::ParFor { local, start, end, body } = serial.body.remove(0) {
-            serial.body.push(Stmt::For {
-                local,
-                start,
-                end,
-                step: Expr::c(Value::I32(1)),
-                body,
-            });
+            serial.body.push(Stmt::For { local, start, end, step: Expr::c(Value::I32(1)), body });
         }
-        let mut run = |c: &Codelet| {
+        let run = |c: &Codelet| {
             let mut x = vec![1.0f32; 600];
             let mut y = vec![0.0f32; 600];
             let mut a = [3.0f32];

@@ -25,6 +25,7 @@ use ipu_sim::clock::CycleStats;
 use ipu_sim::cost::{DType, Op};
 use ipu_sim::exchange::{BlockCopy, ExchangeProgram};
 use ipu_sim::model::TileId;
+use profile::TraceRecorder;
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
 
 use crate::codelet::{Interp, ParamData, Value};
@@ -125,14 +126,22 @@ pub struct Engine {
     storage: Vec<Storage>,
     stats: CycleStats,
     callbacks: HashMap<usize, HostCallback>,
+    /// Optional timeline recorder, driven in lock-step with `stats`.
+    trace: Option<TraceRecorder>,
 }
 
 impl Engine {
     pub fn new(exec: Executable) -> Self {
-        let storage =
-            exec.graph.tensors.iter().map(|t| Storage::zeros(t.dtype, t.len())).collect();
+        let storage = exec.graph.tensors.iter().map(|t| Storage::zeros(t.dtype, t.len())).collect();
         let stats = CycleStats::new(exec.graph.model.num_tiles());
-        Engine { graph: exec.graph, program: exec.program, storage, stats, callbacks: HashMap::new() }
+        Engine {
+            graph: exec.graph,
+            program: exec.program,
+            storage,
+            stats,
+            callbacks: HashMap::new(),
+            trace: None,
+        }
     }
 
     pub fn graph(&self) -> &Graph {
@@ -152,6 +161,22 @@ impl Engine {
 
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Attach a trace recorder; subsequent `run()` calls record one
+    /// timeline event per program step alongside the cycle accounting.
+    pub fn set_trace(&mut self, trace: TraceRecorder) {
+        self.trace = Some(trace);
+    }
+
+    /// Detach and return the trace recorder, if any.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
     }
 
     /// Device seconds corresponding to the accumulated cycles.
@@ -187,9 +212,15 @@ impl Engine {
             storage: &mut self.storage,
             stats: &mut self.stats,
             callbacks: &mut self.callbacks,
+            trace: &mut self.trace,
         };
         let program = self.program.clone();
         ctx.exec(&program);
+        debug_assert_eq!(
+            self.stats.label_depth(),
+            0,
+            "label stack unbalanced after program execution"
+        );
     }
 }
 
@@ -198,6 +229,7 @@ struct ExecCtx<'a> {
     storage: &'a mut Vec<Storage>,
     stats: &'a mut CycleStats,
     callbacks: &'a mut HashMap<usize, HostCallback>,
+    trace: &'a mut Option<TraceRecorder>,
 }
 
 impl ExecCtx<'_> {
@@ -214,25 +246,53 @@ impl ExecCtx<'_> {
                 }
             }
             Prog::If { pred, then, otherwise } => {
-                self.stats.record_sync(self.graph.cost.sync_on_chip_cycles);
+                // A control-flow decision synchronises all tiles; both
+                // branches must leave the label stack balanced.
+                let depth = self.stats.label_depth();
+                self.record_sync(self.graph.cost.sync_on_chip_cycles);
                 if self.read_pred(*pred) {
                     self.exec(then);
                 } else {
                     self.exec(otherwise);
                 }
+                debug_assert_eq!(
+                    self.stats.label_depth(),
+                    depth,
+                    "If branch left label stack unbalanced"
+                );
             }
-            Prog::While { cond, pred, body } => loop {
-                self.exec(cond);
-                self.stats.record_sync(self.graph.cost.sync_on_chip_cycles);
-                if !self.read_pred(*pred) {
-                    break;
+            Prog::While { cond, pred, body } => {
+                let depth = self.stats.label_depth();
+                loop {
+                    self.exec(cond);
+                    self.record_sync(self.graph.cost.sync_on_chip_cycles);
+                    if !self.read_pred(*pred) {
+                        break;
+                    }
+                    self.exec(body);
+                    debug_assert_eq!(
+                        self.stats.label_depth(),
+                        depth,
+                        "While body left label stack unbalanced"
+                    );
+                }
+            }
+            Prog::Label(name, body) => {
+                let depth = self.stats.label_depth();
+                self.stats.push_label(name.clone());
+                if let Some(t) = self.trace.as_mut() {
+                    t.begin_label(name);
                 }
                 self.exec(body);
-            },
-            Prog::Label(name, body) => {
-                self.stats.push_label(name.clone());
-                self.exec(body);
+                if let Some(t) = self.trace.as_mut() {
+                    t.end_label();
+                }
                 self.stats.pop_label();
+                debug_assert_eq!(
+                    self.stats.label_depth(),
+                    depth,
+                    "Label body left label stack unbalanced"
+                );
             }
             Prog::Callback(id) => {
                 if let Some(mut cb) = self.callbacks.remove(id) {
@@ -246,6 +306,32 @@ impl ExecCtx<'_> {
 
     fn read_pred(&self, t: TensorId) -> bool {
         self.storage[t].get_f64(0) != 0.0
+    }
+
+    /// Record a sync barrier into the stats and the trace, keeping both
+    /// clocks in lock-step.
+    fn record_sync(&mut self, cycles: u64) {
+        self.stats.record_sync(cycles);
+        if let Some(t) = self.trace.as_mut() {
+            t.sync(cycles);
+        }
+    }
+
+    /// Record an exchange phase (time + volume) into the stats and trace.
+    fn record_exchange(&mut self, name: &str, program: &ExchangeProgram, cycles: u64) {
+        self.stats.record_exchange(cycles);
+        self.stats.record_exchange_bytes(program.total_bytes() as u64);
+        if let Some(t) = self.trace.as_mut() {
+            t.exchange(name, cycles, program.total_bytes() as u64, program.num_regions());
+        }
+    }
+
+    /// Record a compute superstep into the stats and trace.
+    fn record_compute(&mut self, name: &str, per_tile: Vec<(TileId, u64)>) {
+        if let Some(t) = self.trace.as_mut() {
+            t.compute(name, &per_tile);
+        }
+        self.stats.record_compute(per_tile);
     }
 
     fn execute_compute_set(&mut self, id: usize) {
@@ -277,17 +363,16 @@ impl ExecCtx<'_> {
             }
         }
         if !bcast.is_empty() {
-            let cycles = ExchangeProgram::new(bcast).cycles(model, cost);
-            self.stats.record_exchange(cycles);
+            let ep = ExchangeProgram::new(bcast);
+            let cycles = ep.cycles(model, cost);
+            self.record_exchange(&format!("bcast:{}", cs.name), &ep, cycles);
         }
 
         // BSP sync before the compute set.
         let tiles = cs.tiles();
-        let multi_chip = tiles
-            .first()
-            .map(|&f| tiles.iter().any(|&t| !model.same_chip(f, t)))
-            .unwrap_or(false);
-        self.stats.record_sync(if multi_chip {
+        let multi_chip =
+            tiles.first().map(|&f| tiles.iter().any(|&t| !model.same_chip(f, t))).unwrap_or(false);
+        self.record_sync(if multi_chip {
             cost.sync_inter_ipu_cycles
         } else {
             cost.sync_on_chip_cycles
@@ -299,7 +384,7 @@ impl ExecCtx<'_> {
             let cycles = self.run_vertex(v);
             *per_tile.entry(v.tile).or_insert(0) += cycles;
         }
-        self.stats.record_compute(per_tile);
+        self.record_compute(&cs.name.clone(), per_tile.into_iter().collect());
     }
 
     fn run_vertex(&mut self, v: &crate::compute::Vertex) -> u64 {
@@ -323,9 +408,10 @@ impl ExecCtx<'_> {
                         row_cost.insert(row, interp.cycles - before);
                     }
                 }
-                let schedule = ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
-                    row_cost[&i]
-                });
+                let schedule =
+                    ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
+                        row_cost[&i]
+                    });
                 schedule.cycles(|i| row_cost[&i], cost)
             }
         }
@@ -349,9 +435,10 @@ impl ExecCtx<'_> {
                 }
             })
             .collect();
-        self.stats.record_sync(cost.sync_on_chip_cycles);
-        let cycles = ExchangeProgram::new(copies).cycles(model, cost);
-        self.stats.record_exchange(cycles);
+        self.record_sync(cost.sync_on_chip_cycles);
+        let ep = ExchangeProgram::new(copies);
+        let cycles = ep.cycles(model, cost);
+        self.record_exchange(&ex.name, &ep, cycles);
         // Then the data movement.
         for c in &ex.copies {
             apply_copy(self.storage, c);
@@ -370,7 +457,7 @@ impl ExecCtx<'_> {
                 (c.tile, cost.worker_spawn_cycles + (c.total as u64 * move_cost).div_ceil(workers))
             })
             .collect();
-        self.stats.record_compute(per_tile);
+        self.record_compute(&format!("copy:{}", def.name), per_tile);
         if src != dst {
             let (a, b) = index_two(self.storage, src, dst);
             copy_all(a, b);
@@ -414,18 +501,15 @@ fn build_params<'a>(storage: &'a mut [Storage], operands: &[TensorSlice]) -> Vec
             // pairwise disjoint; base pointers taken once per tensor above.
             unsafe {
                 match bases[&op.tensor] {
-                    Base::F32(p) => ParamData::F32(std::slice::from_raw_parts_mut(
-                        p.add(op.start),
-                        op.len,
-                    )),
-                    Base::I32(p) => ParamData::I32(std::slice::from_raw_parts_mut(
-                        p.add(op.start),
-                        op.len,
-                    )),
-                    Base::Bool(p) => ParamData::Bool(std::slice::from_raw_parts_mut(
-                        p.add(op.start),
-                        op.len,
-                    )),
+                    Base::F32(p) => {
+                        ParamData::F32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    }
+                    Base::I32(p) => {
+                        ParamData::I32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    }
+                    Base::Bool(p) => {
+                        ParamData::Bool(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    }
                     Base::Dw(p) => {
                         ParamData::Dw(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
                     }
@@ -473,21 +557,16 @@ fn apply_copy(storage: &mut [Storage], c: &ElemCopy) {
     }
     let (s, d) = index_two(storage, c.src, c.dst);
     match (s, d) {
-        (Storage::F32(s), Storage::F32(d)) => {
-            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
-        }
-        (Storage::I32(s), Storage::I32(d)) => {
-            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
-        }
-        (Storage::Bool(s), Storage::Bool(d)) => {
-            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
-        }
-        (Storage::Dw(s), Storage::Dw(d)) => {
-            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
-        }
-        (Storage::F64(s), Storage::F64(d)) => {
-            d[c.dst_start..c.dst_start + c.len].copy_from_slice(&s[c.src_start..c.src_start + c.len])
-        }
+        (Storage::F32(s), Storage::F32(d)) => d[c.dst_start..c.dst_start + c.len]
+            .copy_from_slice(&s[c.src_start..c.src_start + c.len]),
+        (Storage::I32(s), Storage::I32(d)) => d[c.dst_start..c.dst_start + c.len]
+            .copy_from_slice(&s[c.src_start..c.src_start + c.len]),
+        (Storage::Bool(s), Storage::Bool(d)) => d[c.dst_start..c.dst_start + c.len]
+            .copy_from_slice(&s[c.src_start..c.src_start + c.len]),
+        (Storage::Dw(s), Storage::Dw(d)) => d[c.dst_start..c.dst_start + c.len]
+            .copy_from_slice(&s[c.src_start..c.src_start + c.len]),
+        (Storage::F64(s), Storage::F64(d)) => d[c.dst_start..c.dst_start + c.len]
+            .copy_from_slice(&s[c.src_start..c.src_start + c.len]),
         _ => unreachable!("exchange dtypes validated at compile time"),
     }
 }
@@ -931,9 +1010,7 @@ mod tests {
             tile: 0,
             codelet: c,
             operands: vec![TensorSlice::whole(x, 5)],
-            kind: VertexKind::LevelSet {
-                levels: (0..5).map(|i| vec![i]).collect(),
-            },
+            kind: VertexKind::LevelSet { levels: (0..5).map(|i| vec![i]).collect() },
         });
         let cs = g.add_compute_set(cs).unwrap();
         let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());

@@ -28,7 +28,9 @@ pub mod graph;
 pub mod program;
 pub mod tensor;
 
-pub use codelet::{BinOp, Codelet, CodeletId, Expr, LocalId, ParamDecl, ParamId, Stmt, UnOp, Value};
+pub use codelet::{
+    BinOp, Codelet, CodeletId, Expr, LocalId, ParamDecl, ParamId, Stmt, UnOp, Value,
+};
 pub use compute::{ComputeSet, ComputeSetId, Vertex, VertexKind};
 pub use engine::Engine;
 pub use graph::{CompileError, Executable, Graph};

@@ -7,6 +7,13 @@
 //! that experiments like the paper's Table IV ("which fraction of solver
 //! time is ILU solve / SpMV / reduce / extended-precision ops") fall out
 //! directly.
+//!
+//! Attribution is *innermost-wins*: while `["solver", "spmv"]` is on the
+//! label stack, cycles go to `spmv` only. Cycles recorded with an empty
+//! stack land in an explicit unlabelled bucket
+//! ([`CycleStats::unlabelled_cycles`]), so that
+//! `Σ label_cycles + unlabelled_cycles == device_cycles` holds exactly —
+//! the invariant the profiling layer's reports are built on.
 
 use std::collections::HashMap;
 
@@ -23,16 +30,37 @@ pub enum Phase {
     Sync,
 }
 
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 3] = [Phase::Compute, Phase::Exchange, Phase::Sync];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Exchange => "exchange",
+            Phase::Sync => "sync",
+        }
+    }
+}
+
 /// Accumulated cycle statistics for one engine execution.
 #[derive(Clone, Debug, Default)]
 pub struct CycleStats {
     device_cycles: u64,
     by_phase: [u64; 3],
     tile_busy: Vec<u64>,
-    /// label -> device cycles attributed while that label was innermost.
-    labels: HashMap<String, u64>,
+    /// label -> device cycles (split by phase) attributed while that label
+    /// was innermost.
+    labels: HashMap<String, [u64; 3]>,
+    /// Cycles recorded while the label stack was empty.
+    unlabelled: [u64; 3],
     label_stack: Vec<String>,
     supersteps: u64,
+    /// Bytes moved over the exchange fabric / IPU-Links.
+    exchange_bytes: u64,
+    /// Number of synchronisation barriers executed.
+    sync_count: u64,
 }
 
 impl CycleStats {
@@ -46,13 +74,30 @@ impl CycleStats {
     }
 
     /// Leave the innermost attribution scope.
+    ///
+    /// Popping an empty stack is a label-balance bug in the caller; it is
+    /// a debug assertion and a silent no-op in release builds (cycles are
+    /// then attributed to the unlabelled bucket rather than misattributed
+    /// to a stale outer label).
     pub fn pop_label(&mut self) {
-        self.label_stack.pop();
+        let popped = self.label_stack.pop();
+        debug_assert!(popped.is_some(), "pop_label on empty label stack");
     }
 
-    fn attribute(&mut self, cycles: u64) {
-        if let Some(l) = self.label_stack.last() {
-            *self.labels.entry(l.clone()).or_insert(0) += cycles;
+    /// Current nesting depth of the label stack.
+    pub fn label_depth(&self) -> usize {
+        self.label_stack.len()
+    }
+
+    /// The current label stack, outermost first.
+    pub fn label_stack(&self) -> &[String] {
+        &self.label_stack
+    }
+
+    fn attribute(&mut self, phase: Phase, cycles: u64) {
+        match self.label_stack.last() {
+            Some(l) => self.labels.entry(l.clone()).or_insert([0; 3])[phase as usize] += cycles,
+            None => self.unlabelled[phase as usize] += cycles,
         }
     }
 
@@ -67,7 +112,7 @@ impl CycleStats {
         }
         self.device_cycles += max;
         self.by_phase[Phase::Compute as usize] += max;
-        self.attribute(max);
+        self.attribute(Phase::Compute, max);
         self.supersteps += 1;
     }
 
@@ -75,14 +120,24 @@ impl CycleStats {
     pub fn record_exchange(&mut self, cycles: u64) {
         self.device_cycles += cycles;
         self.by_phase[Phase::Exchange as usize] += cycles;
-        self.attribute(cycles);
+        self.attribute(Phase::Exchange, cycles);
+    }
+
+    /// Record data volume for the current exchange phase (bytes over the
+    /// fabric / links). Kept separate from [`record_exchange`] so callers
+    /// that only model time keep working.
+    ///
+    /// [`record_exchange`]: CycleStats::record_exchange
+    pub fn record_exchange_bytes(&mut self, bytes: u64) {
+        self.exchange_bytes += bytes;
     }
 
     /// Record a synchronisation barrier of `cycles`.
     pub fn record_sync(&mut self, cycles: u64) {
         self.device_cycles += cycles;
         self.by_phase[Phase::Sync as usize] += cycles;
-        self.attribute(cycles);
+        self.attribute(Phase::Sync, cycles);
+        self.sync_count += 1;
     }
 
     /// Total device cycles (the BSP critical path).
@@ -95,21 +150,67 @@ impl CycleStats {
         self.by_phase[phase as usize]
     }
 
-    /// Device cycles attributed to a named scope (0 if never entered).
-    pub fn label_cycles(&self, label: &str) -> u64 {
-        self.labels.get(label).copied().unwrap_or(0)
+    /// Total bytes moved over the exchange fabric / IPU-Links.
+    pub fn exchange_bytes(&self) -> u64 {
+        self.exchange_bytes
     }
 
-    /// All label attributions, sorted descending by cycles.
+    /// Number of synchronisation barriers executed.
+    pub fn sync_count(&self) -> u64 {
+        self.sync_count
+    }
+
+    /// Device cycles attributed to a named scope (0 if never entered).
+    pub fn label_cycles(&self, label: &str) -> u64 {
+        self.labels.get(label).map(|p| p.iter().sum()).unwrap_or(0)
+    }
+
+    /// Device cycles attributed to a named scope in one category.
+    pub fn label_phase_cycles(&self, label: &str, phase: Phase) -> u64 {
+        self.labels.get(label).map(|p| p[phase as usize]).unwrap_or(0)
+    }
+
+    /// Device cycles recorded while no label was active. Together with the
+    /// named labels this partitions `device_cycles` exactly.
+    pub fn unlabelled_cycles(&self) -> u64 {
+        self.unlabelled.iter().sum()
+    }
+
+    /// Unlabelled device cycles in one category.
+    pub fn unlabelled_phase_cycles(&self, phase: Phase) -> u64 {
+        self.unlabelled[phase as usize]
+    }
+
+    /// All label attributions, sorted descending by cycles. Does not
+    /// include the unlabelled bucket (see [`unlabelled_cycles`]).
+    ///
+    /// [`unlabelled_cycles`]: CycleStats::unlabelled_cycles
     pub fn labels_sorted(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<_> = self.labels.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        let mut v: Vec<_> =
+            self.labels.iter().map(|(k, p)| (k.clone(), p.iter().sum::<u64>())).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All label attributions with their per-phase split
+    /// `[compute, exchange, sync]`, sorted descending by total cycles.
+    pub fn labels_by_phase_sorted(&self) -> Vec<(String, [u64; 3])> {
+        let mut v: Vec<_> = self.labels.iter().map(|(k, p)| (k.clone(), *p)).collect();
+        v.sort_by(|a, b| {
+            let (ta, tb) = (a.1.iter().sum::<u64>(), b.1.iter().sum::<u64>());
+            tb.cmp(&ta).then(a.0.cmp(&b.0))
+        });
         v
     }
 
     /// Busy cycles of one tile.
     pub fn tile_busy(&self, tile: TileId) -> u64 {
         self.tile_busy[tile]
+    }
+
+    /// Per-tile busy counters (index = tile id).
+    pub fn tile_busy_all(&self) -> &[u64] {
+        &self.tile_busy
     }
 
     /// Mean tile utilisation relative to the compute critical path:
@@ -139,16 +240,22 @@ impl CycleStats {
         self.device_cycles += other.device_cycles;
         for i in 0..3 {
             self.by_phase[i] += other.by_phase[i];
+            self.unlabelled[i] += other.unlabelled[i];
         }
         for (t, c) in other.tile_busy.iter().enumerate() {
             if t < self.tile_busy.len() {
                 self.tile_busy[t] += c;
             }
         }
-        for (k, v) in &other.labels {
-            *self.labels.entry(k.clone()).or_insert(0) += v;
+        for (k, p) in &other.labels {
+            let e = self.labels.entry(k.clone()).or_insert([0; 3]);
+            for i in 0..3 {
+                e[i] += p[i];
+            }
         }
         self.supersteps += other.supersteps;
+        self.exchange_bytes += other.exchange_bytes;
+        self.sync_count += other.sync_count;
     }
 }
 
@@ -176,6 +283,7 @@ mod tests {
         assert_eq!(s.phase_cycles(Phase::Compute), 100);
         assert_eq!(s.phase_cycles(Phase::Exchange), 40);
         assert_eq!(s.phase_cycles(Phase::Sync), 10);
+        assert_eq!(s.sync_count(), 1);
     }
 
     #[test]
@@ -197,6 +305,56 @@ mod tests {
     }
 
     #[test]
+    fn labels_plus_unlabelled_partition_device_cycles() {
+        let mut s = CycleStats::new(2);
+        s.record_sync(6); // unlabelled
+        s.push_label("a");
+        s.record_compute([(0, 10), (1, 4)]);
+        s.push_label("b");
+        s.record_exchange(9);
+        s.pop_label();
+        s.pop_label();
+        s.record_compute([(0, 21)]); // unlabelled
+        let labelled: u64 = s.labels_sorted().iter().map(|(_, c)| c).sum();
+        assert_eq!(labelled + s.unlabelled_cycles(), s.device_cycles());
+        assert_eq!(s.unlabelled_cycles(), 27);
+        assert_eq!(s.unlabelled_phase_cycles(Phase::Sync), 6);
+        assert_eq!(s.label_phase_cycles("a", Phase::Compute), 10);
+        assert_eq!(s.label_phase_cycles("b", Phase::Exchange), 9);
+        assert_eq!(s.label_phase_cycles("b", Phase::Compute), 0);
+    }
+
+    #[test]
+    fn exchange_bytes_accumulate() {
+        let mut s = CycleStats::new(1);
+        s.record_exchange(10);
+        s.record_exchange_bytes(256);
+        s.record_exchange(5);
+        s.record_exchange_bytes(64);
+        assert_eq!(s.exchange_bytes(), 320);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pop_label on empty label stack")]
+    fn unbalanced_pop_asserts_in_debug() {
+        let mut s = CycleStats::new(1);
+        s.pop_label();
+    }
+
+    #[test]
+    fn label_depth_tracks_stack() {
+        let mut s = CycleStats::new(1);
+        assert_eq!(s.label_depth(), 0);
+        s.push_label("a");
+        s.push_label("b");
+        assert_eq!(s.label_depth(), 2);
+        assert_eq!(s.label_stack(), ["a".to_string(), "b".to_string()]);
+        s.pop_label();
+        assert_eq!(s.label_depth(), 1);
+    }
+
+    #[test]
     fn balance_reflects_imbalance() {
         let mut s = CycleStats::new(2);
         s.record_compute([(0, 100), (1, 0)]);
@@ -215,9 +373,15 @@ mod tests {
         let mut b = CycleStats::new(2);
         b.push_label("x");
         b.record_exchange(5);
+        b.record_exchange_bytes(128);
         b.pop_label();
+        b.record_sync(2);
         a.merge(&b);
-        assert_eq!(a.device_cycles(), 15);
+        assert_eq!(a.device_cycles(), 17);
         assert_eq!(a.label_cycles("x"), 15);
+        assert_eq!(a.label_phase_cycles("x", Phase::Exchange), 5);
+        assert_eq!(a.exchange_bytes(), 128);
+        assert_eq!(a.sync_count(), 1);
+        assert_eq!(a.unlabelled_cycles(), 2);
     }
 }

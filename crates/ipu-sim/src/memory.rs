@@ -39,10 +39,7 @@ pub struct TileMemory {
 impl TileMemory {
     /// Fresh ledger for all tiles of `model`.
     pub fn new(model: &IpuModel) -> Self {
-        TileMemory {
-            capacity: model.tile_memory_bytes,
-            used: vec![0; model.num_tiles()],
-        }
+        TileMemory { capacity: model.tile_memory_bytes, used: vec![0; model.num_tiles()] }
     }
 
     /// Reserve `bytes` on `tile`, failing if the budget would be exceeded.

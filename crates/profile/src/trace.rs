@@ -1,0 +1,460 @@
+//! The trace recorder and its Chrome trace-event serialisation.
+//!
+//! The execution engine calls one recorder method per program step,
+//! mirroring exactly what it records into `CycleStats`; the recorder keeps
+//! its own monotone device clock (in cycles) so that `Σ event durations on
+//! the step lane == device_cycles`. Serialisation follows the Chrome
+//! trace-event format (`ph: "X"` complete events, `ph: "M"` metadata), with
+//! one tick = one device cycle, so Perfetto's time axis reads directly in
+//! cycles.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use json::Json;
+
+/// Default number of per-tile lanes emitted into the Chrome trace. Real
+/// machines have 1472 tiles per chip; a trace with one lane per tile of a
+/// 16-IPU partition would be unusable (and enormous), so only the first
+/// `tile_lanes` tiles get individual lanes. Override with the
+/// `GRAPHENE_TRACE_TILES` environment variable or
+/// [`TraceRecorder::with_tile_lanes`].
+pub const DEFAULT_TILE_LANES: usize = 16;
+
+/// Hard cap on recorded events; past it, new events are dropped (counted
+/// and reported in the trace metadata) so a long solve cannot exhaust
+/// memory.
+const MAX_EVENTS: usize = 1_000_000;
+
+/// Which timeline lane an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// Device steps: compute sets, exchanges, syncs — the BSP critical
+    /// path; durations on this lane sum to `device_cycles`.
+    Steps,
+    /// Nested label slices (`Prog::Label` scopes).
+    Labels,
+    /// Busy time of one tile during compute steps.
+    Tile(usize),
+}
+
+/// One completed slice.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: String,
+    pub lane: Lane,
+    /// Start, in device cycles since the recorder was attached.
+    pub ts: u64,
+    /// Duration in device cycles.
+    pub dur: u64,
+    /// Extra key/values shown in the trace viewer's args pane.
+    pub args: Vec<(&'static str, Json)>,
+}
+
+/// Aggregated record of one exchange step (for the text report's
+/// exchange-volume table).
+#[derive(Clone, Debug)]
+pub struct ExchangeRecord {
+    pub name: String,
+    pub cycles: u64,
+    pub bytes: u64,
+    pub regions: usize,
+}
+
+/// Records engine execution as timeline events; see the module docs.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    tile_lanes: usize,
+    clock: u64,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    /// (label, start-cycle) for labels currently open.
+    open_labels: Vec<(String, u64)>,
+    exchanges: Vec<ExchangeRecord>,
+    /// compute-set name -> (total makespan cycles, executions).
+    compute_totals: HashMap<String, (u64, u64)>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceRecorder {
+    /// New recorder; tile-lane cap taken from `GRAPHENE_TRACE_TILES` when
+    /// set, else [`DEFAULT_TILE_LANES`].
+    pub fn new() -> TraceRecorder {
+        let lanes = std::env::var("GRAPHENE_TRACE_TILES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_TILE_LANES);
+        TraceRecorder {
+            tile_lanes: lanes,
+            clock: 0,
+            events: Vec::new(),
+            dropped: 0,
+            open_labels: Vec::new(),
+            exchanges: Vec::new(),
+            compute_totals: HashMap::new(),
+        }
+    }
+
+    /// Set the number of per-tile lanes.
+    pub fn with_tile_lanes(mut self, lanes: usize) -> TraceRecorder {
+        self.tile_lanes = lanes;
+        self
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= MAX_EVENTS {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recording (driven by the execution engine)
+    // ------------------------------------------------------------------
+
+    /// One compute superstep. `per_tile` lists each participating tile's
+    /// busy cycles; device time advances by the maximum (BSP makespan).
+    pub fn compute(&mut self, name: &str, per_tile: &[(usize, u64)]) {
+        let makespan = per_tile.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let start = self.clock;
+        for &(tile, cycles) in per_tile {
+            if tile < self.tile_lanes && cycles > 0 {
+                self.push(TraceEvent {
+                    name: name.to_string(),
+                    lane: Lane::Tile(tile),
+                    ts: start,
+                    dur: cycles,
+                    args: Vec::new(),
+                });
+            }
+        }
+        self.push(TraceEvent {
+            name: name.to_string(),
+            lane: Lane::Steps,
+            ts: start,
+            dur: makespan,
+            args: vec![("phase", Json::from("compute")), ("tiles", Json::from(per_tile.len()))],
+        });
+        self.clock += makespan;
+        let e = self.compute_totals.entry(name.to_string()).or_insert((0, 0));
+        e.0 += makespan;
+        e.1 += 1;
+    }
+
+    /// One exchange phase: `cycles` of device time moving `bytes` over the
+    /// fabric in `regions` distinct source regions.
+    pub fn exchange(&mut self, name: &str, cycles: u64, bytes: u64, regions: usize) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            lane: Lane::Steps,
+            ts: self.clock,
+            dur: cycles,
+            args: vec![
+                ("phase", Json::from("exchange")),
+                ("bytes", Json::from(bytes)),
+                ("regions", Json::from(regions)),
+            ],
+        });
+        self.clock += cycles;
+        self.exchanges.push(ExchangeRecord { name: name.to_string(), cycles, bytes, regions });
+    }
+
+    /// One BSP synchronisation barrier.
+    pub fn sync(&mut self, cycles: u64) {
+        self.push(TraceEvent {
+            name: "sync".to_string(),
+            lane: Lane::Steps,
+            ts: self.clock,
+            dur: cycles,
+            args: vec![("phase", Json::from("sync"))],
+        });
+        self.clock += cycles;
+    }
+
+    /// Enter a named scope (`Prog::Label`).
+    pub fn begin_label(&mut self, name: &str) {
+        self.open_labels.push((name.to_string(), self.clock));
+    }
+
+    /// Leave the innermost scope, emitting its slice.
+    pub fn end_label(&mut self) {
+        let popped = self.open_labels.pop();
+        debug_assert!(popped.is_some(), "end_label without begin_label");
+        if let Some((name, start)) = popped {
+            let depth = self.open_labels.len();
+            self.push(TraceEvent {
+                name,
+                lane: Lane::Labels,
+                ts: start,
+                dur: self.clock - start,
+                args: vec![("depth", Json::from(depth))],
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Device cycles recorded so far (mirrors `CycleStats::device_cycles`
+    /// for the steps recorded through this recorder).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// All recorded events (unsorted; serialisation sorts by start time).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped past the recorder's memory cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-exchange-step records, in execution order.
+    pub fn exchanges(&self) -> &[ExchangeRecord] {
+        &self.exchanges
+    }
+
+    /// Exchange steps aggregated by name: `(name, executions, cycles,
+    /// bytes)`, sorted descending by bytes.
+    pub fn exchanges_by_name(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut agg: HashMap<&str, (u64, u64, u64)> = HashMap::new();
+        for e in &self.exchanges {
+            let a = agg.entry(&e.name).or_insert((0, 0, 0));
+            a.0 += 1;
+            a.1 += e.cycles;
+            a.2 += e.bytes;
+        }
+        let mut v: Vec<_> =
+            agg.into_iter().map(|(n, (c, cy, b))| (n.to_string(), c, cy, b)).collect();
+        v.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Compute sets aggregated by name: `(name, total makespan cycles,
+    /// executions)`, sorted descending by cycles.
+    pub fn compute_sets_sorted(&self) -> Vec<(String, u64, u64)> {
+        let mut v: Vec<_> =
+            self.compute_totals.iter().map(|(n, &(c, k))| (n.clone(), c, k)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Chrome trace-event serialisation
+    // ------------------------------------------------------------------
+
+    /// Serialise to the Chrome trace-event JSON object format. Loadable in
+    /// Perfetto / `chrome://tracing`; one tick = one device cycle. Events
+    /// are sorted by start time (ties: longer slice first, so nesting
+    /// renders correctly), giving monotonically non-decreasing `ts`.
+    pub fn to_chrome_trace(&self) -> Json {
+        const PID_DEVICE: u32 = 0;
+        const PID_TILES: u32 = 1;
+        const TID_STEPS: u32 = 0;
+        const TID_LABELS: u32 = 1;
+
+        let mut events: Vec<Json> = Vec::new();
+        let meta = |name: &str, pid: u32, tid: Option<u32>, value: &str| {
+            let mut pairs = vec![
+                ("name".to_string(), Json::from(name)),
+                ("ph".to_string(), Json::from("M")),
+                ("ts".to_string(), Json::from(0u64)),
+                ("pid".to_string(), Json::from(pid)),
+            ];
+            if let Some(t) = tid {
+                pairs.push(("tid".to_string(), Json::from(t)));
+            }
+            pairs.push(("args".to_string(), Json::obj([("name", Json::from(value))])));
+            Json::Obj(pairs)
+        };
+        events.push(meta("process_name", PID_DEVICE, None, "device"));
+        events.push(meta("thread_name", PID_DEVICE, Some(TID_STEPS), "steps"));
+        events.push(meta("thread_name", PID_DEVICE, Some(TID_LABELS), "labels"));
+        events.push(meta("process_name", PID_TILES, None, "tiles"));
+        let mut tile_named = vec![false; self.tile_lanes];
+        for ev in &self.events {
+            if let Lane::Tile(t) = ev.lane {
+                if t < tile_named.len() && !tile_named[t] {
+                    tile_named[t] = true;
+                }
+            }
+        }
+        for (t, named) in tile_named.iter().enumerate() {
+            if *named {
+                events.push(meta("thread_name", PID_TILES, Some(t as u32), &format!("tile {t}")));
+            }
+        }
+
+        // Slices, sorted by (ts asc, dur desc): non-decreasing timestamps
+        // and proper nesting on each lane. Labels still open when the
+        // trace is serialised are closed "now" (at the current clock).
+        let mut slices: Vec<&TraceEvent> = self.events.iter().collect();
+        let synth: Vec<TraceEvent> = self
+            .open_labels
+            .iter()
+            .enumerate()
+            .map(|(depth, (name, start))| TraceEvent {
+                name: name.clone(),
+                lane: Lane::Labels,
+                ts: *start,
+                dur: self.clock - start,
+                args: vec![("depth", Json::from(depth)), ("open", Json::from(true))],
+            })
+            .collect();
+        slices.extend(synth.iter());
+        slices.sort_by(|a, b| a.ts.cmp(&b.ts).then(b.dur.cmp(&a.dur)));
+
+        for ev in slices {
+            let (pid, tid) = match ev.lane {
+                Lane::Steps => (PID_DEVICE, TID_STEPS),
+                Lane::Labels => (PID_DEVICE, TID_LABELS),
+                Lane::Tile(t) => (PID_TILES, t as u32),
+            };
+            let mut pairs = vec![
+                ("name".to_string(), Json::from(ev.name.as_str())),
+                ("ph".to_string(), Json::from("X")),
+                ("ts".to_string(), Json::from(ev.ts)),
+                ("dur".to_string(), Json::from(ev.dur)),
+                ("pid".to_string(), Json::from(pid)),
+                ("tid".to_string(), Json::from(tid)),
+            ];
+            if !ev.args.is_empty() {
+                pairs.push((
+                    "args".to_string(),
+                    Json::Obj(ev.args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()),
+                ));
+            }
+            events.push(Json::Obj(pairs));
+        }
+
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            (
+                "otherData",
+                Json::obj([
+                    ("clock", Json::from("ipu device cycles (1 trace tick = 1 cycle)")),
+                    ("device_cycles", Json::from(self.clock)),
+                    ("dropped_events", Json::from(self.dropped)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Write the Chrome trace (compact JSON) to `path`.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_chrome_trace().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::new().with_tile_lanes(4);
+        t.begin_label("solver");
+        t.sync(10);
+        t.exchange("halo", 20, 512, 3);
+        t.begin_label("spmv");
+        t.compute("spmv_cs", &[(0, 100), (1, 80), (9, 40)]);
+        t.end_label();
+        t.compute("axpy", &[(0, 5), (1, 5)]);
+        t.end_label();
+        t
+    }
+
+    #[test]
+    fn clock_sums_step_durations() {
+        let t = sample();
+        assert_eq!(t.clock(), 10 + 20 + 100 + 5);
+        let steps: u64 = t.events().iter().filter(|e| e.lane == Lane::Steps).map(|e| e.dur).sum();
+        assert_eq!(steps, t.clock());
+    }
+
+    #[test]
+    fn tile_lanes_are_capped() {
+        let t = sample();
+        // Tile 9 exceeds the 4-lane cap and must not appear.
+        assert!(t.events().iter().all(|e| e.lane != Lane::Tile(9)));
+        assert!(t.events().iter().any(|e| e.lane == Lane::Tile(0)));
+    }
+
+    #[test]
+    fn labels_nest_and_span() {
+        let t = sample();
+        let labels: Vec<_> = t.events().iter().filter(|e| e.lane == Lane::Labels).collect();
+        assert_eq!(labels.len(), 2);
+        let spmv = labels.iter().find(|e| e.name == "spmv").unwrap();
+        let solver = labels.iter().find(|e| e.name == "solver").unwrap();
+        assert_eq!(spmv.dur, 100);
+        assert_eq!(solver.ts, 0);
+        assert_eq!(solver.dur, t.clock());
+        // Proper nesting.
+        assert!(solver.ts <= spmv.ts && spmv.ts + spmv.dur <= solver.ts + solver.dur);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotone_ts() {
+        let t = sample();
+        let text = t.to_chrome_trace().to_string();
+        let v = Json::parse(&text).expect("valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!evs.is_empty());
+        let mut last = 0u64;
+        for e in evs {
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            assert!(ts >= last, "ts regressed: {ts} < {last}");
+            last = ts;
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(ph == "X" || ph == "M");
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_u64().is_some());
+            }
+        }
+        // Metadata names both processes.
+        assert!(text.contains("\"device\"") && text.contains("\"tiles\""));
+    }
+
+    #[test]
+    fn open_labels_are_closed_in_serialisation() {
+        let mut t = TraceRecorder::new().with_tile_lanes(1);
+        t.begin_label("dangling");
+        t.sync(7);
+        let v = t.to_chrome_trace();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let found = evs.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("dangling")
+                && e.get("dur").and_then(Json::as_u64) == Some(7)
+        });
+        assert!(found, "open label missing from trace");
+    }
+
+    #[test]
+    fn aggregations_sum_per_name() {
+        let mut t = sample();
+        t.exchange("halo", 5, 100, 1);
+        let ex = t.exchanges_by_name();
+        assert_eq!(ex[0].0, "halo");
+        assert_eq!(ex[0].1, 2); // executions
+        assert_eq!(ex[0].2, 25); // cycles
+        assert_eq!(ex[0].3, 612); // bytes
+        let cs = t.compute_sets_sorted();
+        assert_eq!(cs[0].0, "spmv_cs");
+        assert_eq!(cs[0].1, 100);
+    }
+}

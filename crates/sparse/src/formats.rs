@@ -316,7 +316,9 @@ impl ModifiedCsr {
     /// layout) — demonstrates the format's saving over plain CSR.
     pub fn device_bytes(&self) -> usize {
         // diag f32 + offdiag f32 + col idx u32 + row ptr u32
-        4 * self.diag.len() + 4 * self.values.len() + 4 * self.col_idx.len()
+        4 * self.diag.len()
+            + 4 * self.values.len()
+            + 4 * self.col_idx.len()
             + 4 * self.row_ptr.len()
     }
 

@@ -126,8 +126,7 @@ pub fn heterogeneous_poisson_3d(
     let g = Grid3 { nx, ny, nz };
     let n = g.num_cells();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let k: Vec<f64> =
-        (0..n).map(|_| contrast.powf(rng.gen_range(-1.0..1.0))).collect();
+    let k: Vec<f64> = (0..n).map(|_| contrast.powf(rng.gen_range(-1.0..1.0))).collect();
     let w = |i: usize, j: usize| 2.0 * k[i] * k[j] / (k[i] + k[j]);
 
     let mut coo = CooMatrix::new(n, n);
@@ -162,12 +161,13 @@ pub fn heterogeneous_poisson_3d(
                 }
                 // Dirichlet: boundary faces contribute their own k to the
                 // diagonal, keeping the matrix nonsingular.
-                let missing = 6 - ((x > 0) as usize
-                    + (x + 1 < nx) as usize
-                    + (y > 0) as usize
-                    + (y + 1 < ny) as usize
-                    + (z > 0) as usize
-                    + (z + 1 < nz) as usize);
+                let missing = 6
+                    - ((x > 0) as usize
+                        + (x + 1 < nx) as usize
+                        + (y > 0) as usize
+                        + (y + 1 < ny) as usize
+                        + (z > 0) as usize
+                        + (z + 1 < nz) as usize);
                 diag += missing as f64 * k[i];
                 coo.push(i, i, diag);
             }
@@ -282,8 +282,7 @@ mod tests {
         // Interior cell has 7 entries; corner has 4.
         assert_eq!(a.row_nnz(0), 4);
         // nnz = 7n - 2(boundary faces) ... check against direct count.
-        let expect = 24 * 7
-            - 2 * (3 * 2/*x faces*/ + 4 * 2/*y faces*/ + 4 * 3/*z faces*/);
+        let expect = 24 * 7 - 2 * (3 * 2/*x faces*/ + 4 * 2/*y faces*/ + 4 * 3/*z faces*/);
         assert_eq!(a.nnz(), expect);
     }
 
@@ -352,8 +351,12 @@ mod tests {
         for i in 0..a.nrows {
             let (cols, vals) = a.row(i);
             let diag = a.get(i, i);
-            let off: f64 =
-                cols.iter().zip(vals).filter(|(c, _)| **c as usize != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|(c, _)| **c as usize != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(diag > off, "row {i}");
         }
     }

@@ -134,10 +134,7 @@ impl HaloDecomposition {
         let mut groups: HashMap<(u32, Vec<u32>), Vec<usize>> = HashMap::new();
         for j in 0..a.nrows {
             if !consumers[j].is_empty() {
-                groups
-                    .entry((part.owner[j], consumers[j].clone()))
-                    .or_default()
-                    .push(j);
+                groups.entry((part.owner[j], consumers[j].clone())).or_default().push(j);
             }
         }
         let mut keyed: Vec<((u32, Vec<u32>), Vec<usize>)> = groups.into_iter().collect();
@@ -157,12 +154,8 @@ impl HaloDecomposition {
         }
         let mut layouts: Vec<TileLayout> = (0..num_tiles)
             .map(|t| {
-                let interior: Vec<usize> = part
-                    .rows_of(t)
-                    .iter()
-                    .copied()
-                    .filter(|&r| !is_separator[r])
-                    .collect();
+                let interior: Vec<usize> =
+                    part.rows_of(t).iter().copied().filter(|&r| !is_separator[r]).collect();
                 TileLayout { num_interior: interior.len(), owned: interior, halo: Vec::new() }
             })
             .collect();
@@ -392,8 +385,8 @@ mod tests {
         let l = &h.layouts[0];
         assert_eq!(l.owned.len(), 16);
         assert_eq!(l.num_interior, 9); // 3x3 interior of a 4x4 box
-        // From each of the two neighbours: a 3-cell edge region plus that
-        // neighbour's own corner-broadcast region.
+                                       // From each of the two neighbours: a 3-cell edge region plus that
+                                       // neighbour's own corner-broadcast region.
         assert_eq!(l.halo.len(), 8);
         assert_eq!(l.local_len(), 24);
     }
@@ -470,8 +463,12 @@ mod tests {
         // A 6x6x6 box face has 36 separator cells -> regions collapse the
         // per-cell copies by several times (faces dominate; edge strips are
         // smaller regions).
-        assert!(h.num_block_copies() * 5 <= h.exchange_volume(),
-            "copies {} volume {}", h.num_block_copies(), h.exchange_volume());
+        assert!(
+            h.num_block_copies() * 5 <= h.exchange_volume(),
+            "copies {} volume {}",
+            h.num_block_copies(),
+            h.exchange_volume()
+        );
     }
 
     #[test]

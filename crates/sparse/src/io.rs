@@ -42,9 +42,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() < 5 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err(format!("bad header: {header}")));
@@ -209,10 +207,8 @@ mod tests {
     #[test]
     fn rejects_bad_headers() {
         assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+            .is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
         )

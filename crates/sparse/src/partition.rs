@@ -123,11 +123,8 @@ impl Partition {
 
     /// nnz of the heaviest part / mean nnz per part.
     pub fn nnz_imbalance(&self, a: &CsrMatrix) -> f64 {
-        let loads: Vec<usize> = self
-            .parts
-            .iter()
-            .map(|rows| rows.iter().map(|&r| a.row_nnz(r)).sum())
-            .collect();
+        let loads: Vec<usize> =
+            self.parts.iter().map(|rows| rows.iter().map(|&r| a.row_nnz(r)).sum()).collect();
         let max = *loads.iter().max().unwrap_or(&0) as f64;
         let nonempty = loads.iter().filter(|&&l| l > 0).count().max(1);
         let mean = a.nnz() as f64 / nonempty as f64;
@@ -180,11 +177,8 @@ fn factor3(n: usize, nx: usize, ny: usize, nz: usize) -> (usize, usize, usize) {
             // *largest* box (ceil sides), which both favours cubic shapes
             // and penalises uneven splits — the BSP makespan is set by the
             // biggest box.
-            let (sx, sy, sz) = (
-                nx.div_ceil(px) as f64,
-                ny.div_ceil(py) as f64,
-                nz.div_ceil(pz) as f64,
-            );
+            let (sx, sy, sz) =
+                (nx.div_ceil(px) as f64, ny.div_ceil(py) as f64, nz.div_ceil(pz) as f64);
             let score = sx * sy + sy * sz + sx * sz;
             if score < best_score {
                 best_score = score;

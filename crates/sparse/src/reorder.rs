@@ -85,11 +85,8 @@ pub fn rcm(a: &CsrMatrix) -> Vec<usize> {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             let (cols, _) = a.row(v);
-            let mut nbrs: Vec<usize> = cols
-                .iter()
-                .map(|&c| c as usize)
-                .filter(|&u| !visited[u])
-                .collect();
+            let mut nbrs: Vec<usize> =
+                cols.iter().map(|&c| c as usize).filter(|&u| !visited[u]).collect();
             nbrs.sort_by_key(|&u| degree(u));
             for u in nbrs {
                 if !visited[u] {

@@ -111,11 +111,9 @@ mod tests {
 
     #[test]
     fn sell_spmv_matches_csr() {
-        for (a, c) in [
-            (poisson_2d_5pt(7, 9, 1.0), 4),
-            (random_spd(37, 8, 3), 6),
-            (tridiagonal(20), 7),
-        ] {
+        for (a, c) in
+            [(poisson_2d_5pt(7, 9, 1.0), 4), (random_spd(37, 8, 3), 6), (tridiagonal(20), 7)]
+        {
             let sell = SellMatrix::from_csr(&a, c);
             let x: Vec<f64> = (0..a.ncols).map(|i| (i as f64 * 0.29).sin()).collect();
             let mut y1 = vec![0.0; a.nrows];

@@ -140,10 +140,7 @@ mod tests {
 
     fn assert_close(got: f64, want: f64) {
         let denom = want.abs().max(1e-300);
-        assert!(
-            ((got - want) / denom).abs() < TOL,
-            "got {got}, want {want}"
-        );
+        assert!(((got - want) / denom).abs() < TOL, "got {got}, want {want}");
     }
 
     #[test]
@@ -208,11 +205,9 @@ mod tests {
     fn results_are_normalised() {
         let (xh, xl) = dw(1.0 + 1e-9);
         let (yh, yl) = dw(core::f64::consts::PI);
-        for (h, l) in [
-            add_dw_dw(xh, xl, yh, yl),
-            mul_dw_dw(xh, xl, yh, yl),
-            div_dw_dw(xh, xl, yh, yl),
-        ] {
+        for (h, l) in
+            [add_dw_dw(xh, xl, yh, yl), mul_dw_dw(xh, xl, yh, yl), div_dw_dw(xh, xl, yh, yl)]
+        {
             // Normalised: hi absorbs lo exactly.
             assert_eq!(h + l, h, "pair ({h}, {l}) not normalised");
         }

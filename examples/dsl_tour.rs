@@ -29,11 +29,7 @@ fn main() {
     let offset = cb.param(DType::I32, false);
     cb.par_for(Val::i32(0), xs.len(), |cb, i| {
         let g = cb.let_(i.clone() + offset.at(Val::i32(0)));
-        let sign = Val::select(
-            g.clone().rem(2).eq_(Val::i32(0)),
-            Val::f32(1.0),
-            Val::f32(-1.0),
-        );
+        let sign = Val::select(g.clone().rem(2).eq_(Val::i32(0)), Val::f32(1.0), Val::f32(-1.0));
         cb.store(xs, i, sign / (g * 2 + Val::i32(1)).to(DType::F32));
     });
     let leibniz = ctx.add_codelet(cb.build());

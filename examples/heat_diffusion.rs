@@ -46,8 +46,7 @@ fn main() {
     let t_now = sys.new_vector(&mut ctx, "t_now", DType::F32);
     let t_next = sys.new_vector(&mut ctx, "t_next", DType::F32);
 
-    let mut solver =
-        BiCgStab::new(60, 1e-6, Some(Box::new(Ilu0::new()) as Box<dyn Solver>));
+    let mut solver = BiCgStab::new(60, 1e-6, Some(Box::new(Ilu0::new()) as Box<dyn Solver>));
     solver.setup(&mut ctx, &sys); // ILU(0) factorisation happens here, once
     ctx.repeat(STEPS, |ctx| {
         graphene::graphene_core::solvers::zero(ctx, t_next);
@@ -73,7 +72,10 @@ fn main() {
     let t_final = sys.from_device_order(&engine.read_tensor(t_now.id));
     println!("initial field:");
     render(&t0);
-    println!("\nafter {STEPS} implicit steps (device time {:.3} ms):", engine.elapsed_seconds() * 1e3);
+    println!(
+        "\nafter {STEPS} implicit steps (device time {:.3} ms):",
+        engine.elapsed_seconds() * 1e3
+    );
     render(&t_final);
 
     let peak0 = t0.iter().cloned().fold(0.0, f64::max);

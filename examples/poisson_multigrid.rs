@@ -25,14 +25,7 @@ fn main() {
     let fg = Grid3 { nx: 24, ny: 24, nz: 24 };
     let a = Rc::new(poisson_3d_7pt(fg.nx, fg.ny, fg.nz));
     let bs = rhs_for_ones(&a);
-    println!(
-        "poisson {}x{}x{}: {} rows, {} nnz, 8 tiles\n",
-        fg.nx,
-        fg.ny,
-        fg.nz,
-        a.nrows,
-        a.nnz()
-    );
+    println!("poisson {}x{}x{}: {} rows, {} nnz, 8 tiles\n", fg.nx, fg.ny, fg.nz, a.nrows, a.nnz());
     println!("method                      rel_residual   device_ms   cycles");
 
     // 1. Gauss-Seidel smoothing only (4 sweeps per "cycle").
@@ -82,8 +75,7 @@ fn run(
     e.write_tensor(b.id, &sys.to_device_order(bs));
     e.run();
     let got = sys.from_device_order(&e.read_tensor(x.id));
-    let r2: f64 =
-        a.spmv_alloc(&got).iter().zip(bs).map(|(ax, b)| (ax - b) * (ax - b)).sum();
+    let r2: f64 = a.spmv_alloc(&got).iter().zip(bs).map(|(ax, b)| (ax - b) * (ax - b)).sum();
     let b2: f64 = bs.iter().map(|v| v * v).sum();
     println!(
         "{name}  {:>10.3e}   {:>8.3}   {}",

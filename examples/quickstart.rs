@@ -50,18 +50,25 @@ fn main() {
 
     println!("relative residual: {:.3e}", result.residual);
     println!("inner iterations:  {}", result.iterations);
-    println!("device time:       {:.3} ms ({} cycles)",
-        result.seconds * 1e3, result.stats.device_cycles());
-    println!("max error vs exact solution: {:.3e}",
-        result.x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max));
+    println!(
+        "device time:       {:.3} ms ({} cycles)",
+        result.seconds * 1e3,
+        result.stats.device_cycles()
+    );
+    println!(
+        "max error vs exact solution: {:.3e}",
+        result.x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max)
+    );
 
     println!("\ncycle breakdown:");
     for (phase, name) in
         [(Phase::Compute, "compute"), (Phase::Exchange, "exchange"), (Phase::Sync, "sync")]
     {
         let c = result.stats.phase_cycles(phase);
-        println!("  {name:9} {c:>12} cycles ({:.1}%)",
-            100.0 * c as f64 / result.stats.device_cycles() as f64);
+        println!(
+            "  {name:9} {c:>12} cycles ({:.1}%)",
+            100.0 * c as f64 / result.stats.device_cycles() as f64
+        );
     }
     println!("\nby solver component:");
     for (label, cycles) in result.stats.labels_sorted().into_iter().take(6) {

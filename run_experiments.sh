@@ -1,9 +1,14 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper (see DESIGN.md section 3).
-# Results land in results/*.txt. Pass a scale multiplier via env SCALE_MULT
+# Results land in results/*.txt, with machine-readable JSON solve reports
+# beside them as results/*.json (via GRAPHENE_REPORT; see DESIGN.md §8).
 # Flags can be appended per-binary, e.g. `--scale 1.0` inside this script.
 set -e
 cd "$(dirname "$0")"
+mkdir -p results
+# Every binary writes its JSON report to results/<bin>.json.
+GRAPHENE_REPORT="${GRAPHENE_REPORT:-results}"
+export GRAPHENE_REPORT
 run() { echo ">>> $1" >&2; shift; cargo run --release -q -p graphene-bench --bin "$@"; }
 run "Table I"    table1                    | tee results/table1.txt
 run "Tables II/III" tables23               | tee results/tables23.txt

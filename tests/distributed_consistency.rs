@@ -11,10 +11,7 @@ use graphene::sparse::formats::CsrMatrix;
 use graphene::sparse::gen;
 use graphene::sparse::partition::Partition;
 
-fn build<'a>(
-    a: &Rc<CsrMatrix>,
-    tiles: usize,
-) -> (DslCtx, DistSystem, TensorRef, TensorRef) {
+fn build<'a>(a: &Rc<CsrMatrix>, tiles: usize) -> (DslCtx, DistSystem, TensorRef, TensorRef) {
     let part = Partition::balanced_by_nnz(a, tiles);
     let mut ctx = DslCtx::new(IpuModel::tiny(tiles));
     let sys = DistSystem::build(&mut ctx, a.clone(), part);
@@ -73,8 +70,10 @@ fn host_block_gs(a: &CsrMatrix, part: &Partition, b: &[f64], x: &mut Vec<f64>) {
         // Process in level order of the local matrix, exactly like the
         // device.
         let lm = &halo.local_matrices(a)[t];
-        let levels =
-            graphene::sparse::levelset::LevelSets::analyze(&lm.a, graphene::sparse::levelset::Sweep::Forward);
+        let levels = graphene::sparse::levelset::LevelSets::analyze(
+            &lm.a,
+            graphene::sparse::levelset::Sweep::Forward,
+        );
         for level in &levels.levels {
             for &li in level {
                 let row = layout.owned[li];
@@ -288,12 +287,7 @@ fn symmetric_gs_at_least_as_good_per_sweep() {
         e.write_tensor(b.id, &sys.to_device_order(&bs));
         e.run();
         let got = sys.from_device_order(&e.read_tensor(x.id));
-        a.spmv_alloc(&got)
-            .iter()
-            .zip(&bs)
-            .map(|(ax, b)| (ax - b) * (ax - b))
-            .sum::<f64>()
-            .sqrt()
+        a.spmv_alloc(&got).iter().zip(&bs).map(|(ax, b)| (ax - b) * (ax - b)).sum::<f64>().sqrt()
     };
     let fwd = residual_after(false);
     let sym = residual_after(true);

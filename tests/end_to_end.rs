@@ -81,11 +81,9 @@ fn mpir_precisions_order_correctly() {
     let a = Rc::new(gen::poisson_2d_5pt(16, 16, 1.0));
     let b = gen::random_vector(a.nrows, 11);
     let mut floors = Vec::new();
-    for precision in [
-        ExtendedPrecision::Working,
-        ExtendedPrecision::DoubleWord,
-        ExtendedPrecision::EmulatedF64,
-    ] {
+    for precision in
+        [ExtendedPrecision::Working, ExtendedPrecision::DoubleWord, ExtendedPrecision::EmulatedF64]
+    {
         let cfg = SolverConfig::Mpir {
             inner: Box::new(bicgstab_ilu(50, 0.0)),
             precision,
@@ -109,7 +107,11 @@ fn deep_nesting_works() {
         inner: Box::new(SolverConfig::BiCgStab {
             max_iters: 80,
             rel_tol: 0.0,
-            precond: Some(Box::new(SolverConfig::GaussSeidel { sweeps: 2, symmetric: false, rel_tol: 0.0 })),
+            precond: Some(Box::new(SolverConfig::GaussSeidel {
+                sweeps: 2,
+                symmetric: false,
+                rel_tol: 0.0,
+            })),
         }),
         precision: ExtendedPrecision::DoubleWord,
         max_outer: 4,
@@ -199,11 +201,8 @@ fn geometric_partition_option_is_honoured() {
     let a = Rc::new(gen::poisson_3d_7pt(8, 8, 8));
     let b = gen::rhs_for_ones(&a);
     let part = Partition::grid_3d(Grid3 { nx: 8, ny: 8, nz: 8 }, 2, 2, 2);
-    let o = SolveOptions {
-        model: IpuModel::tiny(8),
-        partition: Some(part),
-        ..SolveOptions::default()
-    };
+    let o =
+        SolveOptions { model: IpuModel::tiny(8), partition: Some(part), ..SolveOptions::default() };
     let res = solve(a, &b, &bicgstab_ilu(300, 1e-6), &o);
     assert!(res.residual < 2e-6);
 }

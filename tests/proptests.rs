@@ -15,11 +15,7 @@ use graphene::twofloat::{joldes, lange_rump, SoftDouble, TwoF32, TwoFloat};
 
 fn reasonable_f64() -> impl Strategy<Value = f64> {
     // Well inside f32 range so intermediate products stay finite.
-    prop_oneof![
-        -1e12f64..1e12,
-        -1.0f64..1.0,
-        (-1e-12f64..1e-12).prop_map(|v| v + 1e-30),
-    ]
+    prop_oneof![-1e12f64..1e12, -1.0f64..1.0, (-1e-12f64..1e-12).prop_map(|v| v + 1e-30),]
 }
 
 proptest! {
@@ -113,9 +109,8 @@ fn arb_coo(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
 /// A random SPD-ish matrix (symmetric pattern, dominant diagonal) with a
 /// full diagonal — what the partition/halo machinery expects.
 fn arb_spd(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
-    (4usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
-        graphene::sparse::gen::random_spd(n, 5, seed)
-    })
+    (4usize..max_n, any::<u64>())
+        .prop_map(|(n, seed)| graphene::sparse::gen::random_spd(n, 5, seed))
 }
 
 proptest! {
