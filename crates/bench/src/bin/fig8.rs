@@ -56,6 +56,7 @@ fn main() {
             rows_per_tile: 32,
             record_history: true,
             partition: None,
+            x0: None,
         };
         let ipu = solve(a.clone(), &b, &cfg, &opts);
         reporter.add_solve(info.name, &ipu);

@@ -47,6 +47,7 @@ fn main() {
             rows_per_tile: 269,
             record_history: false,
             partition: None,
+            x0: None,
         };
         let res = solve(a.clone(), &b, &cfg, &opts);
         let label = match precision {

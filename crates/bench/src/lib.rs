@@ -287,6 +287,7 @@ pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32)
         rows_per_tile: 32,
         record_history: true,
         partition: None,
+        x0: None,
     };
     // "Fig 9" -> "fig9": the GRAPHENE_REPORT file name for this figure.
     let mut reporter = Reporter::from_env(&fig.to_lowercase().replace(' ', ""));

@@ -216,6 +216,157 @@ impl SolverConfig {
     }
 }
 
+/// One entry of the differential verification suite (`graphene-verify`):
+/// a named solver configuration paired with the accuracy it must reach
+/// against the host-side f64 oracle on the suite's small, well-conditioned
+/// generated matrices.
+#[derive(Clone, Debug)]
+pub struct VerifyCase {
+    /// Stable name used in verification reports and failure messages.
+    pub name: &'static str,
+    pub config: SolverConfig,
+    /// Maximum allowed relative residual ‖b − A·x‖ / ‖b‖ (computed in f64
+    /// against the f32-rounded system the device sees).
+    pub residual_bound: f64,
+    /// Maximum allowed relative forward error ‖x − x*‖ / ‖x*‖ against the
+    /// dense-LU oracle solution x* (condition numbers of the generated
+    /// families are small, so this is residual_bound × a modest factor).
+    pub forward_bound: f64,
+    /// Config is only valid on symmetric positive-definite systems.
+    pub spd_only: bool,
+    /// Skip matrix families whose estimated condition number exceeds
+    /// this. Krylov/MPIR configs take `f64::INFINITY`; fixed-sweep
+    /// smoothers (Jacobi, Gauss-Seidel, Chebyshev) contract at a
+    /// κ-dependent rate, so their bounded iteration budgets only promise
+    /// the stated accuracy on well-conditioned systems.
+    pub cond_bound: f64,
+}
+
+/// Every solver configuration the verification suite runs differentially
+/// against the f64 oracle — one entry per solver family, the
+/// ILU-preconditioned Krylov variants, and MPIR in all three extended
+/// precisions. Multigrid is structured-grid-only and handled separately
+/// by `graphene-verify` (it is not expressible as a [`SolverConfig`]).
+pub fn verification_suite() -> Vec<VerifyCase> {
+    let ilu = || Some(Box::new(SolverConfig::Ilu0 {}));
+    let inner = || -> Box<SolverConfig> {
+        Box::new(SolverConfig::BiCgStab { max_iters: 40, rel_tol: 0.0, precond: ilu() })
+    };
+    vec![
+        VerifyCase {
+            name: "cg",
+            config: SolverConfig::Cg { max_iters: 300, rel_tol: 1e-6, precond: None },
+            residual_bound: 5e-5,
+            forward_bound: 5e-3,
+            spd_only: true,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "cg+ilu0",
+            config: SolverConfig::Cg { max_iters: 300, rel_tol: 1e-6, precond: ilu() },
+            residual_bound: 5e-5,
+            forward_bound: 5e-3,
+            spd_only: true,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "bicgstab",
+            config: SolverConfig::BiCgStab { max_iters: 300, rel_tol: 1e-6, precond: None },
+            residual_bound: 5e-5,
+            forward_bound: 5e-3,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "bicgstab+ilu0",
+            config: SolverConfig::BiCgStab { max_iters: 300, rel_tol: 1e-6, precond: ilu() },
+            residual_bound: 5e-5,
+            forward_bound: 5e-3,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "bicgstab+gauss_seidel",
+            config: SolverConfig::BiCgStab {
+                max_iters: 300,
+                rel_tol: 1e-6,
+                precond: Some(Box::new(SolverConfig::GaussSeidel {
+                    sweeps: 2,
+                    symmetric: true,
+                    rel_tol: 0.0,
+                })),
+            },
+            residual_bound: 5e-5,
+            forward_bound: 5e-3,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "jacobi",
+            config: SolverConfig::Jacobi { sweeps: 300, omega: 2.0 / 3.0 },
+            residual_bound: 1e-3,
+            forward_bound: 1e-1,
+            spd_only: false,
+            cond_bound: 100.0,
+        },
+        VerifyCase {
+            name: "gauss_seidel",
+            config: SolverConfig::GaussSeidel { sweeps: 300, symmetric: false, rel_tol: 1e-5 },
+            residual_bound: 1e-3,
+            forward_bound: 1e-1,
+            spd_only: false,
+            cond_bound: 100.0,
+        },
+        VerifyCase {
+            name: "chebyshev",
+            config: SolverConfig::Chebyshev { degree: 60, eig_ratio: 30.0 },
+            residual_bound: 1e-2,
+            forward_bound: 5e-1,
+            spd_only: true,
+            cond_bound: 100.0,
+        },
+        VerifyCase {
+            name: "mpir-working",
+            config: SolverConfig::Mpir {
+                inner: inner(),
+                precision: ExtendedPrecision::Working,
+                max_outer: 6,
+                rel_tol: 1e-7,
+            },
+            residual_bound: 1e-5,
+            forward_bound: 1e-3,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "mpir-double_word",
+            config: SolverConfig::Mpir {
+                inner: inner(),
+                precision: ExtendedPrecision::DoubleWord,
+                max_outer: 8,
+                rel_tol: 1e-12,
+            },
+            residual_bound: 1e-10,
+            forward_bound: 1e-8,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+        VerifyCase {
+            name: "mpir-emulated_f64",
+            config: SolverConfig::Mpir {
+                inner: inner(),
+                precision: ExtendedPrecision::EmulatedF64,
+                max_outer: 8,
+                rel_tol: 1e-12,
+            },
+            residual_bound: 1e-10,
+            forward_bound: 1e-8,
+            spd_only: false,
+            cond_bound: f64::INFINITY,
+        },
+    ]
+}
+
 fn krylov_value(
     tag: &str,
     max_iters: u32,

@@ -33,6 +33,8 @@ pub struct SolveOptions {
     /// Optional geometric partition (for structured-grid problems);
     /// falls back to nnz-balanced contiguous blocks.
     pub partition: Option<Partition>,
+    /// Initial guess (zeros if `None`).
+    pub x0: Option<Vec<f64>>,
 }
 
 impl Default for SolveOptions {
@@ -43,6 +45,7 @@ impl Default for SolveOptions {
             rows_per_tile: 64,
             record_history: true,
             partition: None,
+            x0: None,
         }
     }
 }
@@ -75,7 +78,7 @@ pub struct SolveResult {
 }
 
 /// Solve `A x = b` with the configured solver hierarchy on the simulated
-/// IPU. `x0` is the initial guess (zeros if `None`).
+/// IPU. `opts.x0` is the initial guess (zeros if `None`).
 pub fn solve(
     a: Rc<CsrMatrix>,
     b: &[f64],
@@ -127,6 +130,10 @@ pub fn solve(
     }
     sys.upload(&mut engine);
     engine.write_tensor(bt.id, &sys.to_device_order(b));
+    if let Some(x0) = &opts.x0 {
+        assert_eq!(x0.len(), a.nrows, "x0 size mismatch");
+        engine.write_tensor(xt.id, &sys.to_device_order(x0));
+    }
     engine.run();
     if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
         let report = profile::write_trace_artifacts(path, trace, engine.stats(), 12);
@@ -140,7 +147,9 @@ pub fn solve(
     let ax = monitor.a.spmv_alloc(&x);
     let r2: f64 = monitor.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
     let b2: f64 = monitor.b.iter().map(|v| v * v).sum();
-    let residual = (r2 / b2.max(f64::MIN_POSITIVE)).sqrt();
+    // Relative residual; for b = 0 the absolute norm ‖Ax‖ is reported
+    // instead (a zero rhs has no scale to be relative to).
+    let residual = if b2 > 0.0 { (r2 / b2).sqrt() } else { r2.sqrt() };
 
     let history = monitor.take_history();
     let iterations = monitor.iterations();
@@ -345,6 +354,102 @@ mod tests {
         assert!(last < first, "no progress: {first} -> {last}");
         // Iterations numbered 1..n.
         assert_eq!(res.history[0].0, 1);
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs_exits_immediately() {
+        // b = 0 makes b2·tol² = 0; with a pure relative test the predicate
+        // is unsatisfiable once res2 > 0. With x0 = 0 the residual is
+        // exactly zero, so the loop must exit without iterating.
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = vec![0.0; a.nrows];
+        let cfg = SolverConfig::BiCgStab { max_iters: 100, rel_tol: 1e-6, precond: None };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert_eq!(res.iterations, 0, "zero rhs must not iterate");
+        assert!(res.x.iter().all(|&v| v == 0.0));
+        assert_eq!(res.residual, 0.0);
+    }
+
+    #[test]
+    fn mpir_zero_rhs_exits_immediately() {
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = vec![0.0; a.nrows];
+        let cfg = SolverConfig::Mpir {
+            inner: Box::new(SolverConfig::BiCgStab { max_iters: 40, rel_tol: 0.0, precond: None }),
+            precision: crate::solvers::ExtendedPrecision::DoubleWord,
+            max_outer: 8,
+            rel_tol: 1e-13,
+        };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert_eq!(res.iterations, 0, "zero rhs must not iterate");
+        assert!(res.x.iter().all(|&v| v == 0.0));
+        assert_eq!(res.residual, 0.0);
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs_does_not_burn_max_iters() {
+        // Regression for the b = 0 convergence-predicate bug: with b2 = 0
+        // the pre-fix predicate `res2 > b2·tol²` reduces to `res2 > 0`,
+        // which only fails once the recursive residual underflows to exact
+        // zero — dozens of wasted iterations (101 on this problem) after
+        // the solution is converged to working precision. The absolute
+        // floor (f32::MIN_POSITIVE) exits at 76 iterations; 90 sits
+        // between the two (the simulator is deterministic).
+        let a = Rc::new(poisson_2d_5pt(16, 16, 1.0));
+        let b = vec![0.0; a.nrows];
+        let max_iters = 90;
+        let cfg = SolverConfig::BiCgStab { max_iters, rel_tol: 1e-6, precond: None };
+        let o = SolveOptions { x0: Some(vec![1.0; a.nrows]), ..opts(2) };
+        let res = solve(a, &b, &cfg, &o);
+        assert!(
+            res.iterations < max_iters as usize,
+            "burned all {} iterations on a zero rhs",
+            res.iterations
+        );
+        // b = 0 reports the absolute norm ‖Ax‖; x must have been driven
+        // to (near) zero.
+        assert!(res.residual < 1e-4, "residual {}", res.residual);
+    }
+
+    #[test]
+    fn mpir_subnormal_threshold_does_not_burn_max_outer() {
+        // Same bug at the MPIR level: b ~ 1e-8 with rel_tol = 1e-16 makes
+        // b2·tol² ≈ 6e-47 underflow to 0 even in double-word, while the
+        // double-word residual stalls near its ~1e-13 relative floor —
+        // res2 ≈ 6e-41 stays > 0, so pre-fix every outer iteration ran.
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b: Vec<f64> = rhs_for_ones(&a).iter().map(|v| v * 1e-8).collect();
+        let inner_iters = 40;
+        let max_outer = 8;
+        let cfg = SolverConfig::Mpir {
+            inner: Box::new(SolverConfig::BiCgStab {
+                max_iters: inner_iters,
+                rel_tol: 0.0,
+                precond: Some(Box::new(SolverConfig::Ilu0 {})),
+            }),
+            precision: crate::solvers::ExtendedPrecision::DoubleWord,
+            max_outer,
+            rel_tol: 1e-16,
+        };
+        let res = solve(a, &b, &cfg, &opts(2));
+        assert!(
+            res.iterations < (max_outer * inner_iters) as usize,
+            "burned all outer iterations ({} inner)",
+            res.iterations
+        );
+        assert!(res.residual < 1e-9, "residual {}", res.residual);
+    }
+
+    #[test]
+    fn initial_guess_is_honoured() {
+        // Starting at the exact solution must converge immediately.
+        let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 200, rel_tol: 1e-5, precond: None };
+        let cold = solve(a.clone(), &b, &cfg, &opts(2));
+        let warm_opts = SolveOptions { x0: Some(vec![1.0; a.nrows]), ..opts(2) };
+        let warm = solve(a, &b, &cfg, &warm_opts);
+        assert!(warm.iterations < cold.iterations, "{} vs {}", warm.iterations, cold.iterations);
     }
 
     #[test]

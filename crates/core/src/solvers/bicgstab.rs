@@ -97,11 +97,15 @@ impl Solver for BiCgStab {
             ctx.while_(
                 |ctx| {
                     // Continue while iter < max and (no tolerance, or
-                    // res2 > tol² · b2). NaNs compare false ⇒ breakdown
-                    // terminates the loop, as on the real framework's
-                    // singularity early-exit.
+                    // res2 > max(tol² · b2, tiny)). NaNs compare false ⇒
+                    // breakdown terminates the loop, as on the real
+                    // framework's singularity early-exit. The absolute
+                    // floor guards b = 0 (b2 = 0 makes a pure relative
+                    // test unsatisfiable) and subnormal b where b2·tol²
+                    // underflows to 0 in f32.
                     let cont = if tol2 > 0.0 {
-                        iter.ex().lt(max_iters).and(res2.ex().gt(b2 * tol2))
+                        let thresh = (b2.ex() * tol2).max_(f32::MIN_POSITIVE);
+                        iter.ex().lt(max_iters).and(res2.ex().gt(thresh))
                     } else {
                         iter.ex().lt(max_iters)
                     };

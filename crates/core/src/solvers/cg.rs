@@ -77,8 +77,11 @@ impl Solver for Cg {
 
             ctx.while_(
                 |ctx| {
+                    // Absolute floor guards b = 0 / subnormal-b underflow
+                    // of the relative threshold (see bicgstab.rs).
                     let cont = if tol2 > 0.0 {
-                        iter.ex().lt(max_iters).and(res2.ex().gt(b2 * tol2))
+                        let thresh = (b2.ex() * tol2).max_(f32::MIN_POSITIVE);
+                        iter.ex().lt(max_iters).and(res2.ex().gt(thresh))
                     } else {
                         iter.ex().lt(max_iters)
                     };

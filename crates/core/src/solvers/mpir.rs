@@ -122,8 +122,15 @@ impl Solver for Mpir {
                         sys.residual(ctx, r_ext, b, x_ext);
                         ctx.reduce_into(res2, r_ext * r_ext);
                     });
+                    // Guard the relative test with an absolute floor: for
+                    // b = 0 (b2 = 0) a pure relative predicate can never
+                    // pass, and for subnormal b the product b2·tol²
+                    // underflows to 0 — either way the loop would burn all
+                    // max_outer iterations on an (exactly) converged
+                    // solution.
                     let cont = if self.rel_tol > 0.0 {
-                        outer.ex().lt(max_outer).and(res2.ex().gt(b2 * tol2))
+                        let thresh = (b2.ex() * tol2).max_(f32::MIN_POSITIVE);
+                        outer.ex().lt(max_outer).and(res2.ex().gt(thresh))
                     } else {
                         outer.ex().lt(max_outer)
                     };

@@ -221,6 +221,11 @@ impl Engine {
             0,
             "label stack unbalanced after program execution"
         );
+        debug_assert_eq!(
+            self.stats.label_underflows(),
+            0,
+            "pop_label underflowed during program execution"
+        );
     }
 }
 

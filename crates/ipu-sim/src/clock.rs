@@ -61,6 +61,10 @@ pub struct CycleStats {
     exchange_bytes: u64,
     /// Number of synchronisation barriers executed.
     sync_count: u64,
+    /// Number of `pop_label` calls made while the stack was already empty —
+    /// each one is a label-balance bug in the caller that would otherwise
+    /// silently skew attribution.
+    label_underflows: u64,
 }
 
 impl CycleStats {
@@ -75,13 +79,26 @@ impl CycleStats {
 
     /// Leave the innermost attribution scope.
     ///
-    /// Popping an empty stack is a label-balance bug in the caller; it is
-    /// a debug assertion and a silent no-op in release builds (cycles are
-    /// then attributed to the unlabelled bucket rather than misattributed
-    /// to a stale outer label).
+    /// Popping an empty stack is a label-balance bug in the caller. It used
+    /// to be a debug assertion that compiled away to a *silent* no-op in
+    /// release builds, so one unbalanced caller could permanently skew
+    /// attribution without a trace. It is now counted
+    /// ([`label_underflows`]) so reports and the engine's label-balance
+    /// check can surface it in every build profile. Cycles recorded after
+    /// an underflow go to the unlabelled bucket rather than being
+    /// misattributed to a stale outer label.
+    ///
+    /// [`label_underflows`]: CycleStats::label_underflows
     pub fn pop_label(&mut self) {
-        let popped = self.label_stack.pop();
-        debug_assert!(popped.is_some(), "pop_label on empty label stack");
+        if self.label_stack.pop().is_none() {
+            self.label_underflows += 1;
+        }
+    }
+
+    /// Number of times `pop_label` was called on an empty stack. Any
+    /// non-zero value indicates a label-balance bug in a caller.
+    pub fn label_underflows(&self) -> u64 {
+        self.label_underflows
     }
 
     /// Current nesting depth of the label stack.
@@ -256,6 +273,7 @@ impl CycleStats {
         self.supersteps += other.supersteps;
         self.exchange_bytes += other.exchange_bytes;
         self.sync_count += other.sync_count;
+        self.label_underflows += other.label_underflows;
     }
 }
 
@@ -335,11 +353,35 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "pop_label on empty label stack")]
-    fn unbalanced_pop_asserts_in_debug() {
+    fn unbalanced_pop_is_counted_not_silent() {
+        // Regression: in release builds an unbalanced pop_label used to be
+        // a silent no-op; it must be observable as a counted stat.
         let mut s = CycleStats::new(1);
+        assert_eq!(s.label_underflows(), 0);
         s.pop_label();
+        assert_eq!(s.label_underflows(), 1);
+        s.push_label("a");
+        s.pop_label(); // balanced — no new underflow
+        s.pop_label(); // unbalanced again
+        assert_eq!(s.label_underflows(), 2);
+        // Attribution after an underflow still lands in the unlabelled
+        // bucket, keeping the partition invariant intact.
+        s.record_compute([(0, 9)]);
+        assert_eq!(s.unlabelled_cycles(), 9);
+        assert_eq!(s.unlabelled_cycles() + 0, s.device_cycles());
+    }
+
+    #[test]
+    fn underflows_merge_and_reset() {
+        let mut a = CycleStats::new(1);
+        a.pop_label();
+        let mut b = CycleStats::new(1);
+        b.pop_label();
+        b.pop_label();
+        a.merge(&b);
+        assert_eq!(a.label_underflows(), 3);
+        a.reset();
+        assert_eq!(a.label_underflows(), 0);
     }
 
     #[test]

@@ -76,9 +76,14 @@ impl ExchangeProgram {
         }
         let mut per_tile = vec![0u64; model.num_tiles()];
         let mut crosses_chip = false;
-        // Track which (tile, src_key) pairs have already paid the send cost.
-        let mut sent: std::collections::HashSet<(TileId, u64)> =
-            std::collections::HashSet::with_capacity(self.copies.len());
+        // Per distinct source region, the worst-case (most expensive) link
+        // cost over all copies of that region. A broadcast whose consumers
+        // mix on-chip and cross-chip destinations must charge the sender the
+        // slowest link serving the region — the fabric streams the region
+        // once at the rate of the slowest consumer path, not at the rate of
+        // whichever copy happens to be listed first.
+        let mut send_cost: std::collections::HashMap<(TileId, u64), u64> =
+            std::collections::HashMap::with_capacity(self.copies.len());
         for c in &self.copies {
             let on_chip = model.same_chip(c.src_tile, c.dst_tile);
             crosses_chip |= !on_chip;
@@ -89,10 +94,12 @@ impl ExchangeProgram {
             };
             // Receiver always pays.
             per_tile[c.dst_tile] += cost;
-            // Sender pays once per region (broadcast).
-            if sent.insert((c.src_tile, c.src_key)) {
-                per_tile[c.src_tile] += cost;
-            }
+            // Sender pays once per region (broadcast), at the max link cost.
+            let e = send_cost.entry((c.src_tile, c.src_key)).or_insert(0);
+            *e = (*e).max(cost);
+        }
+        for ((src, _), cost) in send_cost {
+            per_tile[src] += cost;
         }
         let max = per_tile.into_iter().max().unwrap_or(0);
         max + if crosses_chip { cm.ipu_link_latency_cycles } else { 0 }
@@ -134,6 +141,32 @@ mod tests {
         assert_eq!(uni.cycles(&m, &cm), 3 * region); // sender is the bottleneck
         assert_eq!(bcast.num_regions(), 1);
         assert_eq!(uni.num_regions(), 3);
+    }
+
+    #[test]
+    fn broadcast_mixed_chip_charges_sender_worst_link() {
+        // Regression: a broadcast region consumed both on-chip and
+        // cross-chip used to charge the sender whichever copy's link cost
+        // was seen *first*, making the phase cost depend on copy order and
+        // undercosting the sender when the on-chip copy came first.
+        let cm = CostModel::default();
+        let m = model();
+        // Region A (key 7): tile 0 -> tile 1 (on-chip) and tile 0 -> tile 4
+        // (cross-chip). Region B (key 9): tile 0 -> tile 2 (on-chip), which
+        // makes the *sender* the bottleneck tile.
+        let a_on = BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 7 };
+        let a_cross = BlockCopy { src_tile: 0, dst_tile: 4, bytes: 400, src_key: 7 };
+        let b_on = BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 9 };
+        let on_first = ExchangeProgram::new(vec![a_on, a_cross, b_on]);
+        let cross_first = ExchangeProgram::new(vec![a_cross, a_on, b_on]);
+        // Sender pays region A at the IPU-Link rate (its worst consumer)
+        // plus region B at the on-chip rate; receivers each pay one region.
+        let want = cm.ipu_link_region_cycles(400)
+            + cm.on_chip_region_cycles(400)
+            + cm.ipu_link_latency_cycles;
+        assert_eq!(on_first.cycles(&m, &cm), want);
+        // And the cost must not depend on the order copies are listed in.
+        assert_eq!(cross_first.cycles(&m, &cm), on_first.cycles(&m, &cm));
     }
 
     #[test]

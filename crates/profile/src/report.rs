@@ -51,6 +51,15 @@ pub fn text_report(stats: &CycleStats, trace: Option<&TraceRecorder>, top_k: usi
     push(&mut out, format!("supersteps      : {}", group(stats.supersteps())));
     push(&mut out, format!("sync barriers   : {}", group(stats.sync_count())));
     push(&mut out, format!("exchange bytes  : {}", group(stats.exchange_bytes())));
+    if stats.label_underflows() > 0 {
+        push(
+            &mut out,
+            format!(
+                "label underflows: {}  (WARNING: unbalanced pop_label — attribution unreliable)",
+                group(stats.label_underflows())
+            ),
+        );
+    }
     out.push('\n');
 
     // ------------------------------------------------------------------

@@ -22,7 +22,7 @@
 //!   "cycles": {
 //!     "device": 123456, "compute": 100000, "exchange": 20000,
 //!     "sync": 3456, "exchange_bytes": 789, "sync_count": 42,
-//!     "supersteps": 17
+//!     "supersteps": 17, "label_underflows": 0
 //!   },
 //!   "labels": [
 //!     { "name": "spmv", "total": 900, "compute": 800, "exchange": 90, "sync": 10 },
@@ -53,6 +53,9 @@ pub struct CycleBreakdown {
     pub exchange_bytes: u64,
     pub sync_count: u64,
     pub supersteps: u64,
+    /// `pop_label` calls on an empty label stack (label-balance bugs);
+    /// 0 in any healthy run.
+    pub label_underflows: u64,
 }
 
 /// Device cycles attributed to one label (innermost-wins), split by phase.
@@ -132,6 +135,7 @@ impl SolveReport {
             exchange_bytes: stats.exchange_bytes(),
             sync_count: stats.sync_count(),
             supersteps: stats.supersteps(),
+            label_underflows: stats.label_underflows(),
         };
         self.labels = stats
             .labels_by_phase_sorted()
@@ -203,6 +207,7 @@ impl SolveReport {
                     ("exchange_bytes", Json::from(c.exchange_bytes)),
                     ("sync_count", Json::from(c.sync_count)),
                     ("supersteps", Json::from(c.supersteps)),
+                    ("label_underflows", Json::from(c.label_underflows)),
                 ]),
             ),
             (
@@ -319,6 +324,11 @@ impl SolveReport {
                 exchange_bytes: u64_of(cycles, "exchange_bytes")?,
                 sync_count: u64_of(cycles, "sync_count")?,
                 supersteps: u64_of(cycles, "supersteps")?,
+                // Absent in reports written before the stat existed.
+                label_underflows: cycles
+                    .get("label_underflows")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             },
             labels,
             tile_util: TileUtil {
@@ -436,6 +446,34 @@ mod tests {
         let text = r.to_json();
         let back = SolveReport::from_json(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn label_underflows_surface_in_report() {
+        // Regression: an unbalanced pop_label used to vanish in release
+        // builds; it must show up in the report and its JSON.
+        let mut s = sample_stats();
+        s.pop_label(); // underflow
+        let r = SolveReport::new("t").with_stats(&s);
+        assert_eq!(r.cycles.label_underflows, 1);
+        let back = SolveReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.cycles.label_underflows, 1);
+        // Healthy runs report 0, and old reports without the field parse
+        // as 0.
+        let healthy = SolveReport::new("t").with_stats(&sample_stats());
+        assert_eq!(healthy.cycles.label_underflows, 0);
+        let mut legacy = healthy.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cycles" {
+                    if let Json::Obj(cp) = v {
+                        cp.retain(|(ck, _)| ck != "label_underflows");
+                    }
+                }
+            }
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.cycles.label_underflows, 0);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The differential runner.
+//!
+//! Every entry of [`graphene_core::config::verification_suite`] is
+//! executed on the simulated IPU against every compatible matrix family
+//! from [`crate::generators::solver_families`], and the device solution is
+//! compared with the dense f64 LU oracle solving the *same* f32-rounded
+//! system. A configuration passes when both
+//!
+//! * the relative residual ‖b − A·x‖/‖b‖ (f64, rounded system), and
+//! * the relative forward error ‖x − x*‖/‖x*‖ against the oracle x*
+//!
+//! stay within that configuration's declared bounds. Each configuration
+//! must run on at least [`MIN_FAMILIES`] families — a suite that silently
+//! skips everything is itself a bug.
+//!
+//! Multigrid is structured-grid-only (not expressible as a
+//! [`SolverConfig`](graphene_core::config::SolverConfig)), so
+//! [`run_two_grid`] drives the V-cycle pipeline by hand and checks it
+//! against the same oracle.
+
+use std::rc::Rc;
+
+use dsl::prelude::*;
+use graphene_core::config::{verification_suite, VerifyCase};
+use graphene_core::dist::DistSystem;
+use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::solvers::{BiCgStab, Solver, TwoGrid};
+use sparse::gen::{poisson_3d_7pt, rhs_for_ones, Grid3};
+use sparse::partition::Partition;
+
+use crate::generators::{random_rhs, solver_families, Family};
+use crate::oracle::{self, DenseLu};
+
+/// Fewest families a configuration may be exercised on.
+pub const MIN_FAMILIES: usize = 3;
+
+/// One (configuration, family) execution compared against the oracle.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    pub case: &'static str,
+    pub family: &'static str,
+    /// Relative residual of the device solution (f64, rounded system).
+    pub residual: f64,
+    /// Relative forward error against the dense-LU oracle solution.
+    pub forward: f64,
+    pub iterations: usize,
+}
+
+fn sim_opts() -> SolveOptions {
+    SolveOptions {
+        model: IpuModel::tiny(4),
+        tiles: Some(4),
+        record_history: false,
+        ..SolveOptions::default()
+    }
+}
+
+/// A family prepared for differential runs: rounded system, factored
+/// oracle, condition estimate.
+struct Prepared {
+    fam: Family,
+    a32: Rc<sparse::formats::CsrMatrix>,
+    lu: DenseLu,
+    cond: f64,
+    b: Vec<f64>,
+}
+
+fn prepare(fam: Family, seed: u64) -> Prepared {
+    let a32 = Rc::new(oracle::rounded_f32(&fam.a));
+    let lu = DenseLu::factor(&a32).expect("verification family must be nonsingular");
+    let cond = oracle::cond_est(&a32, &lu, 30);
+    // Round the rhs through f32 too, so the device and the oracle see
+    // bit-identical data.
+    let b: Vec<f64> = random_rhs(a32.nrows, seed).iter().map(|v| *v as f32 as f64).collect();
+    Prepared { fam, a32, lu, cond, b }
+}
+
+fn run_one(case: &VerifyCase, prep: &Prepared) -> Outcome {
+    let res = solve(prep.a32.clone(), &prep.b, &case.config, &sim_opts());
+    let x_ref = prep.lu.solve(&prep.b);
+    Outcome {
+        case: case.name,
+        family: prep.fam.name,
+        residual: oracle::rel_residual(&prep.a32, &res.x, &prep.b),
+        forward: oracle::rel_error(&res.x, &x_ref),
+        iterations: res.iterations,
+    }
+}
+
+/// Run the named suite entries on every compatible family and assert the
+/// declared bounds. Unknown names panic (a renamed configuration must not
+/// silently drop out of the suite). Returns the outcomes for reporting.
+pub fn check_cases(names: &[&str]) -> Vec<Outcome> {
+    let suite = verification_suite();
+    let cases: Vec<&VerifyCase> = names
+        .iter()
+        .map(|n| {
+            suite
+                .iter()
+                .find(|c| c.name == *n)
+                .unwrap_or_else(|| panic!("unknown verification case '{n}'"))
+        })
+        .collect();
+    let prepared: Vec<Prepared> = solver_families()
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| prepare(f, 1000 + i as u64))
+        .collect();
+
+    let mut outcomes = Vec::new();
+    for case in cases {
+        let mut ran = 0usize;
+        for prep in &prepared {
+            if case.spd_only && !prep.fam.spd {
+                continue;
+            }
+            if prep.cond > case.cond_bound {
+                continue;
+            }
+            let out = run_one(case, prep);
+            assert!(
+                out.residual <= case.residual_bound,
+                "[{}/{}] residual {:.3e} exceeds bound {:.1e} ({} iterations)",
+                out.case,
+                out.family,
+                out.residual,
+                case.residual_bound,
+                out.iterations,
+            );
+            assert!(
+                out.forward <= case.forward_bound,
+                "[{}/{}] forward error {:.3e} exceeds bound {:.1e} (residual {:.3e})",
+                out.case,
+                out.family,
+                out.forward,
+                case.forward_bound,
+                out.residual,
+            );
+            ran += 1;
+            outcomes.push(out);
+        }
+        assert!(
+            ran >= MIN_FAMILIES,
+            "case '{}' only ran on {ran} families (minimum {MIN_FAMILIES})",
+            case.name,
+        );
+    }
+    outcomes
+}
+
+/// All suite entry names, for callers that want to shard the suite across
+/// test targets without missing an entry.
+pub fn all_case_names() -> Vec<&'static str> {
+    verification_suite().iter().map(|c| c.name).collect()
+}
+
+/// Differentially verify the two-grid multigrid solver (V(2,2) cycles on
+/// the 3D Poisson problem) against the dense-LU oracle. Returns the
+/// (residual, forward error) actually achieved after `cycles` cycles.
+pub fn run_two_grid(cycles: u32) -> (f64, f64) {
+    let fg = Grid3 { nx: 8, ny: 8, nz: 8 };
+    let a = Rc::new(poisson_3d_7pt(fg.nx, fg.ny, fg.nz));
+    let bs = rhs_for_ones(&a);
+    let part = Partition::grid_3d(fg, 2, 2, 2);
+
+    let mut ctx = DslCtx::new(IpuModel::tiny(8));
+    let sys = DistSystem::build(&mut ctx, a.clone(), part);
+    let b = sys.new_vector(&mut ctx, "b", DType::F32);
+    let x = sys.new_vector(&mut ctx, "x", DType::F32);
+
+    let coarse = Box::new(BiCgStab::new(60, 1e-7, None));
+    let mut tg = TwoGrid::new(fg, (2, 2, 2), 2, 2, coarse);
+    tg.setup(&mut ctx, &sys);
+    ctx.repeat(cycles, |ctx| tg.solve(ctx, &sys, b, x));
+
+    let mut engine = ctx.build_engine().expect("two-grid program compiles");
+    sys.upload(&mut engine);
+    tg.upload(&mut engine);
+    engine.write_tensor(b.id, &sys.to_device_order(&bs));
+    engine.run();
+    let got = sys.from_device_order(&engine.read_tensor(x.id));
+
+    // The exact solution of b = A·1 is the ones vector; the oracle
+    // recovers it from the f32-rounded system the device saw (the 7-point
+    // stencil is integral, so rounding is exact here).
+    let lu = DenseLu::factor(&a).expect("Poisson system is nonsingular");
+    let x_ref = lu.solve(&bs);
+    (oracle::rel_residual(&a, &got, &bs), oracle::rel_error(&got, &x_ref))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_case_name_panics() {
+        let r = std::panic::catch_unwind(|| check_cases(&["no_such_solver"]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn suite_names_are_unique_and_nonempty() {
+        let names = all_case_names();
+        assert!(names.len() >= 11, "suite shrank to {} entries", names.len());
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate case names");
+    }
+}

@@ -1,0 +1,333 @@
+//! ULP audit of the double-word (f32-pair) primitives.
+//!
+//! Sweeps `twofloat::joldes` over randomised and adversarial operands and
+//! checks three things against an f64 reference:
+//!
+//! 1. **Error bounds** — each operation's relative error stays within the
+//!    bound proved by Joldes, Muller and Popescu (TOMS 44(2), 2017):
+//!    2u² (`add_dw_f`, `mul_dw_f`), 3u² (`add_dw_dw`, `div_dw_f`),
+//!    5u² (`mul_dw_dw`), 15u² (`div_dw_dw`), a few u² (`sqrt_dw`), with
+//!    u = 2⁻²⁴. The f64 reference itself carries ≤ 2⁻⁵³ relative error,
+//!    absorbed into a small additive slack.
+//! 2. **Normalisation** — results are normalised pairs: `hi ⊕ lo == hi`
+//!    in f32 (equivalently `|lo| ≤ ulp(hi)/2`), even for subnormal,
+//!    near-overflow and mixed-sign operands. This is the invariant that
+//!    keeps error bounds composable across chained operations — exactly
+//!    what MPIR relies on.
+//! 3. **The sloppy-add restriction is real** — `add_dw_dw_sloppy`'s bound
+//!    only covers same-sign operands; the audit both checks that bound
+//!    *and* demonstrates the catastrophic loss on cancelling operands
+//!    that the accurate variant avoids (a differential property: same
+//!    operands, both variants).
+//!
+//! Case counts scale with `GRAPHENE_VERIFY_CASES` (see
+//! [`crate::cases_from_env`]).
+
+use proptest::TestRng;
+use twofloat::joldes;
+
+/// u = 2⁻²⁴, the unit roundoff of f32.
+pub const U: f64 = 1.0 / (1u64 << 24) as f64;
+
+/// Bound `k·u²` plus slack for the f64 reference's own rounding.
+fn bound(k: f64) -> f64 {
+    k * U * U + 1e-15
+}
+
+/// Outcome of one audited operation sweep.
+#[derive(Clone, Debug)]
+pub struct Audit {
+    pub op: &'static str,
+    pub checked: u64,
+    /// Largest relative error observed (should sit below the bound).
+    pub max_rel: f64,
+}
+
+/// Split an f64 into a normalised f32 double-word pair.
+fn dw(v: f64) -> (f32, f32) {
+    let hi = v as f32;
+    let lo = (v - hi as f64) as f32;
+    (hi, lo)
+}
+
+/// Value of a pair, exactly (both components are f32, so this is exact
+/// in f64).
+fn val(p: (f32, f32)) -> f64 {
+    p.0 as f64 + p.1 as f64
+}
+
+/// Random double-word operand: sign · 2^e · mantissa with e ∈ [−30, 30],
+/// well inside f32 range so tight-bound arithmetic never over/underflows.
+fn rand_dw(rng: &mut TestRng) -> (f32, f32) {
+    let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+    let e = rng.below(61) as i32 - 30;
+    let mant = 1.0 + rng.unit_f64();
+    dw(sign * mant * (2.0f64).powi(e))
+}
+
+fn rel_err(got: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if got == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((got - exact) / exact).abs()
+    }
+}
+
+/// Assert a pair is normalised: adding `lo` onto `hi` in f32 must not
+/// move `hi`.
+fn assert_normalised(op: &str, x: (f32, f32), y: (f32, f32), r: (f32, f32)) {
+    if r.0.is_nan() || r.1.is_nan() {
+        return; // invalid operation; nothing to normalise
+    }
+    if r.0.is_finite() && r.1.is_finite() {
+        assert!(
+            r.0 + r.1 == r.0,
+            "{op}: result ({:e}, {:e}) not normalised for x=({:e},{:e}) y=({:e},{:e})",
+            r.0,
+            r.1,
+            x.0,
+            x.1,
+            y.0,
+            y.1,
+        );
+    }
+}
+
+fn check(op: &'static str, x: (f32, f32), y: (f32, f32), r: (f32, f32), exact: f64, k: f64) -> f64 {
+    assert_normalised(op, x, y, r);
+    let rel = rel_err(val(r), exact);
+    assert!(
+        rel <= bound(k),
+        "{op}: relative error {rel:.3e} exceeds {k}u\u{b2} bound {:.3e}\n  x = ({:e}, {:e})\n  y = ({:e}, {:e})\n  got {:.17e} want {:.17e}",
+        bound(k),
+        x.0,
+        x.1,
+        y.0,
+        y.1,
+        val(r),
+        exact,
+    );
+    rel
+}
+
+/// Audit the additions (dw+f, dw+dw accurate) over random and
+/// near-cancelling operands.
+pub fn audit_add(cases: u32) -> Audit {
+    let mut rng = TestRng::from_name("verify::ulp::add");
+    let mut max_rel = 0.0f64;
+    let mut checked = 0u64;
+    for i in 0..cases {
+        let x = rand_dw(&mut rng);
+        let y = rand_dw(&mut rng);
+        let r = joldes::add_dw_dw(x.0, x.1, y.0, y.1);
+        max_rel = max_rel.max(check("add_dw_dw", x, y, r, val(x) + val(y), 3.2));
+
+        let f = rand_dw(&mut rng).0;
+        let r = joldes::add_dw_f(x.0, x.1, f);
+        max_rel = max_rel.max(check("add_dw_f", x, (f, 0.0), r, val(x) + f as f64, 2.1));
+
+        // Near-cancellation: y ≈ −x with a gap of 2^−k, k ∈ [1, 28]. The
+        // accurate algorithm's bound is unconditional; this is where a
+        // buggy renormalisation shows first.
+        let k = 1 + (i % 28) as i32;
+        let y = dw(-val(x) * (1.0 + (2.0f64).powi(-k)));
+        let r = joldes::add_dw_dw(x.0, x.1, y.0, y.1);
+        max_rel = max_rel.max(check("add_dw_dw(cancel)", x, y, r, val(x) + val(y), 3.2));
+        checked += 3;
+    }
+    Audit { op: "add", checked, max_rel }
+}
+
+/// Audit the multiplications (dw×f, dw×dw).
+pub fn audit_mul(cases: u32) -> Audit {
+    let mut rng = TestRng::from_name("verify::ulp::mul");
+    let mut max_rel = 0.0f64;
+    let mut checked = 0u64;
+    for _ in 0..cases {
+        let x = rand_dw(&mut rng);
+        let y = rand_dw(&mut rng);
+        let r = joldes::mul_dw_dw(x.0, x.1, y.0, y.1);
+        max_rel = max_rel.max(check("mul_dw_dw", x, y, r, val(x) * val(y), 5.0));
+
+        let f = rand_dw(&mut rng).0;
+        let r = joldes::mul_dw_f(x.0, x.1, f);
+        max_rel = max_rel.max(check("mul_dw_f", x, (f, 0.0), r, val(x) * f as f64, 2.1));
+        checked += 2;
+    }
+    Audit { op: "mul", checked, max_rel }
+}
+
+/// Audit the divisions (dw÷f, dw÷dw).
+pub fn audit_div(cases: u32) -> Audit {
+    let mut rng = TestRng::from_name("verify::ulp::div");
+    let mut max_rel = 0.0f64;
+    let mut checked = 0u64;
+    for _ in 0..cases {
+        let x = rand_dw(&mut rng);
+        let y = rand_dw(&mut rng);
+        let r = joldes::div_dw_dw(x.0, x.1, y.0, y.1);
+        max_rel = max_rel.max(check("div_dw_dw", x, y, r, val(x) / val(y), 15.0));
+
+        let f = rand_dw(&mut rng).0;
+        let r = joldes::div_dw_f(x.0, x.1, f);
+        max_rel = max_rel.max(check("div_dw_f", x, (f, 0.0), r, val(x) / f as f64, 3.2));
+        checked += 2;
+    }
+    Audit { op: "div", checked, max_rel }
+}
+
+/// Audit the square root on positive operands.
+pub fn audit_sqrt(cases: u32) -> Audit {
+    let mut rng = TestRng::from_name("verify::ulp::sqrt");
+    let mut max_rel = 0.0f64;
+    let mut checked = 0u64;
+    for _ in 0..cases {
+        let mut x = rand_dw(&mut rng);
+        if x.0 < 0.0 {
+            x = (-x.0, -x.1);
+        }
+        let r = joldes::sqrt_dw(x.0, x.1);
+        max_rel = max_rel.max(check("sqrt_dw", x, (0.0, 0.0), r, val(x).sqrt(), 4.0));
+        checked += 1;
+    }
+    Audit { op: "sqrt", checked, max_rel }
+}
+
+/// Audit the sloppy addition: within its documented same-sign bound, and
+/// demonstrably *outside* any u²-level bound on cancelling operands where
+/// the accurate variant stays tight. Returns (same-sign audit, worst
+/// cancelling-operand relative error of the sloppy variant).
+pub fn audit_sloppy(cases: u32) -> (Audit, f64) {
+    let mut rng = TestRng::from_name("verify::ulp::sloppy");
+    let mut max_rel = 0.0f64;
+    let mut checked = 0u64;
+    for _ in 0..cases {
+        // Same sign: bound 3u² holds.
+        let x = rand_dw(&mut rng);
+        let y = {
+            let cand = rand_dw(&mut rng);
+            if (cand.0 < 0.0) == (x.0 < 0.0) {
+                cand
+            } else {
+                (-cand.0, -cand.1)
+            }
+        };
+        let r = joldes::add_dw_dw_sloppy(x.0, x.1, y.0, y.1);
+        max_rel = max_rel.max(check("add_dw_dw_sloppy(same sign)", x, y, r, val(x) + val(y), 3.2));
+        checked += 1;
+    }
+
+    // Opposite signs with exact hi-cancellation: the entire result is
+    // carried by the low words, where the sloppy variant rounds at full
+    // f32 precision (error ~u, seven orders above the u² bound) while the
+    // accurate variant stays exact.
+    let mut worst_sloppy = 0.0f64;
+    for _ in 0..cases.max(64) {
+        let x = rand_dw(&mut rng);
+        // y = (−xh, yl) with |yl| ∈ [0.125, 0.5)·|yh|·u — comparable to
+        // xl, small enough that the pair stays normalised, and *large*
+        // enough that the pair value stays exactly representable in the
+        // f64 reference (a hi/lo exponent gap beyond 29 bits would make
+        // `val` itself round).
+        let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+        let yl = (sign * (0.25 + 0.75 * rng.unit_f64()) * x.0.abs() as f64 * (0.5 * U)) as f32;
+        let y = (-x.0, yl);
+        let exact = val(x) + val(y);
+        if exact == 0.0 {
+            continue;
+        }
+        let sloppy = joldes::add_dw_dw_sloppy(x.0, x.1, y.0, y.1);
+        let accurate = joldes::add_dw_dw(x.0, x.1, y.0, y.1);
+        // The accurate variant keeps its bound even here.
+        check("add_dw_dw(hi-cancel)", x, y, accurate, exact, 3.2);
+        worst_sloppy = worst_sloppy.max(rel_err(val(sloppy), exact));
+    }
+    (Audit { op: "sloppy_add", checked, max_rel }, worst_sloppy)
+}
+
+/// Normalisation-only audit over wild operands: subnormals, near-overflow
+/// magnitudes and huge exponent gaps. No error bound is asserted (the
+/// Joldes bounds assume no over/underflow); the *invariant* that survives
+/// is normalisation of every finite result.
+pub fn audit_normalisation_extremes() -> u64 {
+    let specials: Vec<(f32, f32)> = vec![
+        (0.0, 0.0),
+        (-0.0, 0.0),
+        (f32::MIN_POSITIVE, 0.0),
+        (-f32::MIN_POSITIVE, 0.0),
+        (1.0e-45, 0.0), // smallest subnormal
+        (f32::MAX / 2.0, 0.0),
+        (-f32::MAX / 2.0, 0.0),
+        (1.0, f32::MIN_POSITIVE), // huge hi/lo exponent gap
+        (1.0e30, -1.0e22),
+        (1.0e-30, 1.0e-38),
+        (3.0, -1.1920929e-7), // lo = -ulp(hi)/2 boundary
+    ];
+    let mut checked = 0u64;
+    for &x in &specials {
+        for &y in &specials {
+            let pairs = [
+                ("add", joldes::add_dw_dw(x.0, x.1, y.0, y.1)),
+                ("sub", joldes::sub_dw_dw(x.0, x.1, y.0, y.1)),
+                ("mul", joldes::mul_dw_dw(x.0, x.1, y.0, y.1)),
+            ];
+            for (op, r) in pairs {
+                assert_normalised(op, x, y, r);
+                checked += 1;
+            }
+            if y.0 != 0.0 {
+                let r = joldes::div_dw_dw(x.0, x.1, y.0, y.1);
+                assert_normalised("div", x, y, r);
+                checked += 1;
+            }
+            if x.0 >= 0.0 {
+                let r = joldes::sqrt_dw(x.0, x.1);
+                assert_normalised("sqrt", x, y, r);
+                checked += 1;
+            }
+        }
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dw_split_is_normalised_and_exact() {
+        for v in [1.0 + 1e-9, std::f64::consts::PI, -1234.56789, 1e-20] {
+            let p = dw(v);
+            assert_eq!(p.0 + p.1, p.0);
+            assert!((val(p) - v).abs() <= v.abs() * 2.0 * U * U);
+        }
+    }
+
+    #[test]
+    fn quick_audits_pass() {
+        // Small counts here; the root test target runs the full sweep.
+        assert!(audit_add(64).max_rel <= bound(3.2));
+        assert!(audit_mul(64).max_rel <= bound(5.0));
+        assert!(audit_div(64).max_rel <= bound(15.0));
+        assert!(audit_sqrt(64).max_rel <= bound(4.0));
+    }
+
+    #[test]
+    fn sloppy_add_loses_on_cancellation() {
+        let (same_sign, worst) = audit_sloppy(64);
+        assert!(same_sign.max_rel <= bound(3.2));
+        assert!(
+            worst > 1e-9,
+            "expected catastrophic sloppy-add error on cancelling operands, got {worst:.3e}"
+        );
+    }
+
+    #[test]
+    fn extremes_stay_normalised() {
+        assert!(audit_normalisation_extremes() > 300);
+    }
+}

@@ -1,0 +1,60 @@
+//! Full double-word ULP audit (its own test target so the sweep can be
+//! scaled independently via `GRAPHENE_VERIFY_CASES`).
+//!
+//! Asserts the Joldes et al. per-operation error bounds and the
+//! normalisation invariant over randomised and adversarial operands; see
+//! `verify::ulp_audit` for the methodology.
+
+use verify::ulp_audit::{
+    audit_add, audit_div, audit_mul, audit_normalisation_extremes, audit_sloppy, audit_sqrt, U,
+};
+
+fn cases() -> u32 {
+    verify::cases_from_env(4000)
+}
+
+#[test]
+fn add_meets_joldes_bounds() {
+    let audit = audit_add(cases());
+    assert!(audit.checked >= 3 * cases() as u64);
+    // The sweep should actually exercise error-bearing cases, not only
+    // exact ones.
+    assert!(audit.max_rel > 0.0, "add audit saw no rounding at all");
+}
+
+#[test]
+fn mul_meets_joldes_bounds() {
+    let audit = audit_mul(cases());
+    assert!(audit.max_rel <= 5.0 * U * U + 1e-15);
+}
+
+#[test]
+fn div_meets_joldes_bounds() {
+    let audit = audit_div(cases());
+    assert!(audit.max_rel <= 15.0 * U * U + 1e-15);
+}
+
+#[test]
+fn sqrt_meets_error_bound() {
+    let audit = audit_sqrt(cases());
+    assert!(audit.max_rel <= 4.0 * U * U + 1e-15);
+}
+
+#[test]
+fn sloppy_add_is_bounded_same_sign_and_catastrophic_on_cancellation() {
+    let (same_sign, worst_cancelling) = audit_sloppy(cases());
+    assert!(same_sign.max_rel <= 3.2 * U * U + 1e-15);
+    // On cancelling operands the sloppy variant rounds the surviving low
+    // words at full f32 precision — error ~u, orders of magnitude above
+    // the u²-level bound the accurate variant keeps on the same operands.
+    assert!(
+        worst_cancelling > 1e-9,
+        "sloppy add unexpectedly accurate on cancelling operands: {worst_cancelling:.3e}"
+    );
+}
+
+#[test]
+fn extreme_operands_stay_normalised() {
+    let checked = audit_normalisation_extremes();
+    assert!(checked > 300, "extreme-operand audit shrank to {checked} checks");
+}

@@ -1,0 +1,144 @@
+//! The differential-oracle verification suite (tier-1).
+//!
+//! Every solver configuration in
+//! `graphene_core::config::verification_suite()` is executed on the
+//! simulated IPU and compared against a host-side dense f64 LU oracle on
+//! at least three generated matrix families; simulator invariants
+//! (double-run bit determinism, label balance, exchange-byte
+//! conservation) and MatrixMarket round-trips ride along.
+//!
+//! Case counts for the randomised properties scale with
+//! `GRAPHENE_VERIFY_CASES` (default keeps `cargo test -q` within its
+//! budget); the differential matrix set is fixed.
+
+use std::rc::Rc;
+
+use graphene::graphene_core::config::SolverConfig;
+use graphene::sparse::gen::{poisson_2d_5pt, rhs_for_ones};
+use graphene::sparse::io::{read_matrix_market, write_matrix_market_with, MmSymmetry};
+use verify::differential::{all_case_names, check_cases, run_two_grid};
+use verify::generators;
+use verify::invariants::{assert_deterministic, audit_exchange_conservation};
+
+// ---- differential suite, sharded for test-runner parallelism ----------
+
+const KRYLOV: &[&str] = &["cg", "cg+ilu0", "bicgstab", "bicgstab+ilu0", "bicgstab+gauss_seidel"];
+const SMOOTHERS: &[&str] = &["jacobi", "gauss_seidel", "chebyshev"];
+const MPIR: &[&str] = &["mpir-working", "mpir-double_word", "mpir-emulated_f64"];
+
+#[test]
+fn differential_krylov() {
+    let outcomes = check_cases(KRYLOV);
+    assert!(outcomes.len() >= KRYLOV.len() * 3);
+}
+
+#[test]
+fn differential_smoothers() {
+    let outcomes = check_cases(SMOOTHERS);
+    assert!(outcomes.len() >= SMOOTHERS.len() * 3);
+}
+
+#[test]
+fn differential_mpir() {
+    let outcomes = check_cases(MPIR);
+    assert!(outcomes.len() >= MPIR.len() * 3);
+    // The extended-precision configs must actually beat the working-
+    // precision f32 floor (the paper's central claim, Figs 9/10).
+    for o in &outcomes {
+        if o.case == "mpir-double_word" || o.case == "mpir-emulated_f64" {
+            assert!(o.residual < 1e-10, "[{}/{}] residual {:.3e}", o.case, o.family, o.residual);
+        }
+    }
+}
+
+/// The shards above must cover the whole suite: a configuration added to
+/// `verification_suite()` without a home here fails this test.
+#[test]
+fn differential_shards_cover_suite() {
+    let mut sharded: Vec<&str> = [KRYLOV, SMOOTHERS, MPIR].concat();
+    sharded.sort_unstable();
+    let mut all = all_case_names();
+    all.sort_unstable();
+    assert_eq!(sharded, all, "suite entries not covered by a differential shard");
+}
+
+/// Multigrid is structured-grid-only and not expressible as a
+/// `SolverConfig`; verify the hand-driven V(2,2) two-grid cycle against
+/// the same oracle.
+#[test]
+fn differential_two_grid() {
+    let (residual, forward) = run_two_grid(6);
+    assert!(residual < 5e-3, "two-grid residual {residual:.3e}");
+    assert!(forward < 5e-2, "two-grid forward error {forward:.3e}");
+}
+
+// ---- simulator invariants ---------------------------------------------
+
+#[test]
+fn double_runs_are_bit_identical() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    for cfg in [
+        SolverConfig::BiCgStab {
+            max_iters: 30,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        },
+        SolverConfig::paper_default(20, 3, 1e-12),
+    ] {
+        let rep = assert_deterministic(a.clone(), &b, &cfg);
+        assert!(rep.device_cycles > 0);
+    }
+}
+
+#[test]
+fn exchange_bytes_are_conserved() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    for cfg in [
+        SolverConfig::BiCgStab { max_iters: 10, rel_tol: 0.0, precond: None },
+        SolverConfig::Jacobi { sweeps: 12, omega: 2.0 / 3.0 },
+        SolverConfig::GaussSeidel { sweeps: 6, symmetric: true, rel_tol: 0.0 },
+    ] {
+        let audit = audit_exchange_conservation(a.clone(), &b, &cfg);
+        assert!(audit.exchange_steps > 0);
+        assert_eq!(audit.traced_bytes, audit.stats_bytes);
+    }
+}
+
+// ---- MatrixMarket round-trips over generated matrices -----------------
+
+fn roundtrip(a: &graphene::sparse::formats::CsrMatrix, symmetry: MmSymmetry) {
+    let mut buf = Vec::new();
+    write_matrix_market_with(&mut buf, a, symmetry).expect("matrix matches requested symmetry");
+    let back = read_matrix_market(&buf[..]).expect("written file parses");
+    assert_eq!(a, &back, "round-trip through {symmetry:?} storage changed the matrix");
+}
+
+#[test]
+fn matrix_market_roundtrips_general() {
+    let cases = verify::cases_from_env(12) as u64;
+    for seed in 0..cases {
+        let a =
+            generators::random_general(6 + (seed as usize % 9), 5 + (seed as usize % 7), 24, seed);
+        roundtrip(&a, MmSymmetry::General);
+    }
+}
+
+#[test]
+fn matrix_market_roundtrips_symmetric() {
+    let cases = verify::cases_from_env(12) as u64;
+    for seed in 0..cases {
+        let a = generators::random_symmetric(10 + (seed as usize % 8), 3, seed);
+        roundtrip(&a, MmSymmetry::Symmetric);
+    }
+}
+
+#[test]
+fn matrix_market_roundtrips_skew_symmetric() {
+    let cases = verify::cases_from_env(12) as u64;
+    for seed in 0..cases {
+        let a = generators::random_skew(10 + (seed as usize % 8), 3, seed);
+        roundtrip(&a, MmSymmetry::SkewSymmetric);
+    }
+}
