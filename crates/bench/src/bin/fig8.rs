@@ -57,6 +57,7 @@ fn main() {
             record_history: true,
             partition: None,
             x0: None,
+            executor: None,
         };
         let ipu = solve(a.clone(), &b, &cfg, &opts);
         reporter.add_solve(info.name, &ipu);

@@ -48,6 +48,7 @@ fn main() {
             record_history: false,
             partition: None,
             x0: None,
+            executor: None,
         };
         let res = solve(a.clone(), &b, &cfg, &opts);
         let label = match precision {

@@ -39,6 +39,16 @@ impl Args {
     pub fn has(&self, flag: &str) -> bool {
         self.raw.iter().any(|a| a == flag)
     }
+
+    /// String-valued flag (`--out path/to/file.json`).
+    pub fn get_str(&self, flag: &str, default: &str) -> String {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
 }
 
 /// Outcome of one simulated SpMV measurement.
@@ -288,6 +298,7 @@ pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32)
         record_history: true,
         partition: None,
         x0: None,
+        executor: None,
     };
     // "Fig 9" -> "fig9": the GRAPHENE_REPORT file name for this figure.
     let mut reporter = Reporter::from_env(&fig.to_lowercase().replace(' ', ""));

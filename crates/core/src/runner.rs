@@ -6,8 +6,10 @@
 //! simulated device, and gather results and profiling data back.
 
 use std::rc::Rc;
+use std::time::Instant;
 
 use dsl::prelude::*;
+use graph::ExecutorKind;
 use ipu_sim::clock::CycleStats;
 use profile::{SolveReport, TraceRecorder};
 use sparse::formats::CsrMatrix;
@@ -35,6 +37,11 @@ pub struct SolveOptions {
     pub partition: Option<Partition>,
     /// Initial guess (zeros if `None`).
     pub x0: Option<Vec<f64>>,
+    /// Host executor for the simulated device (`None`: whatever
+    /// `GRAPHENE_PAR` selects, sequential when unset). The choice affects
+    /// host wall-clock only — results, `CycleStats` and traces are
+    /// bit-identical across executors.
+    pub executor: Option<ExecutorKind>,
 }
 
 impl Default for SolveOptions {
@@ -46,6 +53,7 @@ impl Default for SolveOptions {
             record_history: true,
             partition: None,
             x0: None,
+            executor: None,
         }
     }
 }
@@ -121,6 +129,11 @@ pub fn solve(
     let x_ext = solver.as_any().downcast_mut::<Mpir>().and_then(|m| m.x_ext);
 
     let mut engine = ctx.build_engine().expect("solver program compiles");
+    if let Some(kind) = opts.executor {
+        engine
+            .set_executor(kind)
+            .unwrap_or_else(|e| panic!("requested {} executor, but: {e}", kind.name()));
+    }
     // Tracing is opt-in via GRAPHENE_TRACE=<path>: record a timeline
     // alongside the cycle accounting and drop a Chrome trace + a text
     // profile report next to it after the run.
@@ -134,7 +147,12 @@ pub fn solve(
         assert_eq!(x0.len(), a.nrows, "x0 size mismatch");
         engine.write_tensor(xt.id, &sys.to_device_order(x0));
     }
+    // Host wall-clock around the device run — device `seconds` come from
+    // the cycle model and are executor-independent; `host_seconds` is
+    // what the parallel host executor improves.
+    let host_start = Instant::now();
     engine.run();
+    let host_seconds = host_start.elapsed().as_secs_f64();
     if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
         let report = profile::write_trace_artifacts(path, trace, engine.stats(), 12);
         eprint!("{report}");
@@ -164,6 +182,8 @@ pub fn solve(
     report.iterations = iterations;
     report.final_residual = residual;
     report.seconds = seconds;
+    report.host_seconds = host_seconds;
+    report.executor = engine.executor().name().to_string();
     report.history = history.clone();
 
     SolveResult { x, residual, history, iterations, stats, seconds, report }
@@ -450,6 +470,35 @@ mod tests {
         let warm_opts = SolveOptions { x0: Some(vec![1.0; a.nrows]), ..opts(2) };
         let warm = solve(a, &b, &cfg, &warm_opts);
         assert!(warm.iterations < cold.iterations, "{} vs {}", warm.iterations, cold.iterations);
+    }
+
+    #[test]
+    fn parallel_executor_solve_is_bit_identical_and_reported() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 60,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let seq = solve(
+            a.clone(),
+            &b,
+            &cfg,
+            &SolveOptions { executor: Some(ExecutorKind::Sequential), ..opts(4) },
+        );
+        let par =
+            solve(a, &b, &cfg, &SolveOptions { executor: Some(ExecutorKind::Parallel), ..opts(4) });
+        let sb: Vec<u64> = seq.x.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u64> = par.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, pb, "solutions differ between executors");
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(seq.stats.device_cycles(), par.stats.device_cycles());
+        assert_eq!(seq.seconds, par.seconds, "device time is executor-independent");
+        assert_eq!(seq.report.executor, "sequential");
+        assert_eq!(par.report.executor, "parallel");
+        assert!(seq.report.host_seconds > 0.0);
+        assert!(par.report.host_seconds > 0.0);
     }
 
     #[test]

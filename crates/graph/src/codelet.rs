@@ -473,12 +473,24 @@ impl Codelet {
 }
 
 /// One typed storage slice handed to a codelet parameter.
+///
+/// Immutable parameters are carried as shared (`*Ro`) slices so the engine
+/// never materialises an aliasing `&mut` for data a vertex only reads —
+/// the property the host-parallel executor relies on when several workers
+/// read the same broadcast operand concurrently. [`Codelet::validate`]
+/// statically rejects stores to immutable parameters, so `set` on a
+/// read-only variant is unreachable.
 pub enum ParamData<'a> {
     F32(&'a mut [f32]),
     I32(&'a mut [i32]),
     Bool(&'a mut [bool]),
     Dw(&'a mut [TwoF32]),
     F64(&'a mut [SoftDouble]),
+    F32Ro(&'a [f32]),
+    I32Ro(&'a [i32]),
+    BoolRo(&'a [bool]),
+    DwRo(&'a [TwoF32]),
+    F64Ro(&'a [SoftDouble]),
 }
 
 impl ParamData<'_> {
@@ -489,6 +501,11 @@ impl ParamData<'_> {
             ParamData::Bool(s) => s.len(),
             ParamData::Dw(s) => s.len(),
             ParamData::F64(s) => s.len(),
+            ParamData::F32Ro(s) => s.len(),
+            ParamData::I32Ro(s) => s.len(),
+            ParamData::BoolRo(s) => s.len(),
+            ParamData::DwRo(s) => s.len(),
+            ParamData::F64Ro(s) => s.len(),
         }
     }
 
@@ -503,6 +520,11 @@ impl ParamData<'_> {
             ParamData::Bool(s) => Value::Bool(s[i]),
             ParamData::Dw(s) => Value::Dw(s[i]),
             ParamData::F64(s) => Value::F64(s[i].0),
+            ParamData::F32Ro(s) => Value::F32(s[i]),
+            ParamData::I32Ro(s) => Value::I32(s[i]),
+            ParamData::BoolRo(s) => Value::Bool(s[i]),
+            ParamData::DwRo(s) => Value::Dw(s[i]),
+            ParamData::F64Ro(s) => Value::F64(s[i].0),
         }
     }
 
@@ -513,6 +535,13 @@ impl ParamData<'_> {
             ParamData::Bool(s) => s[i] = v.as_bool(),
             ParamData::Dw(s) => s[i] = as_dw(v),
             ParamData::F64(s) => s[i] = SoftDouble(v.as_f64()),
+            ParamData::F32Ro(_)
+            | ParamData::I32Ro(_)
+            | ParamData::BoolRo(_)
+            | ParamData::DwRo(_)
+            | ParamData::F64Ro(_) => {
+                unreachable!("store to immutable param rejected by Codelet::validate")
+            }
         }
     }
 }

@@ -17,22 +17,105 @@
 //!   IPU-Link latency when chips are crossed.
 //! * `Copy` — an on-tile memcpy parallelised over the worker threads.
 //! * `If`/`While` — control-flow decisions synchronise all tiles.
+//!
+//! # Host executors
+//!
+//! The simulated *device* semantics are fixed, but the *host* may run the
+//! vertices of a compute set either on one thread ([`ExecutorKind::Sequential`])
+//! or partitioned by tile across scoped worker threads
+//! ([`ExecutorKind::Parallel`]). Tile-mapped writes are disjoint by
+//! construction (mutable operands must be resident on the vertex's tile and
+//! tensor chunks never overlap across tiles), so parallel execution is safe
+//! whenever no vertex *reads* a region another tile *writes* within the same
+//! compute set — checked by [`parallel_hazards`] at engine-build time. Both
+//! executors merge per-tile cycle counts in tile-id order, so `CycleStats`
+//! and traces are bit-identical between them. Select with
+//! `GRAPHENE_PAR=1` (or `Engine::set_executor`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 use ipu_sim::clock::CycleStats;
 use ipu_sim::cost::{DType, Op};
 use ipu_sim::exchange::{BlockCopy, ExchangeProgram};
-use ipu_sim::model::TileId;
+use ipu_sim::model::{IpuModel, TileId};
 use profile::TraceRecorder;
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
 
-use crate::codelet::{Interp, ParamData, Value};
-use crate::compute::{TensorSlice, VertexKind};
+use crate::codelet::{Codelet, Interp, ParamData, Value};
+use crate::compute::{TensorSlice, Vertex, VertexKind};
 use crate::graph::{Executable, Graph};
 use crate::program::{ElemCopy, ExchangeStep, Prog};
 use crate::tensor::TensorId;
+
+/// Which host executor runs the vertices of each compute set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One host thread walks the vertices in program order.
+    Sequential,
+    /// Vertices are partitioned by tile and run on scoped host worker
+    /// threads; per-tile results are merged in tile-id order, so stats
+    /// and traces are bit-identical to sequential execution.
+    Parallel,
+}
+
+impl ExecutorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutorKind::Sequential => "sequential",
+            ExecutorKind::Parallel => "parallel",
+        }
+    }
+}
+
+/// Host-execution options for an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineOptions {
+    pub executor: ExecutorKind,
+    /// Worker-thread cap for the parallel executor; `0` means one per
+    /// available core.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { executor: ExecutorKind::Sequential, threads: 0 }
+    }
+}
+
+impl EngineOptions {
+    /// Parse the `GRAPHENE_PAR` environment variable: unset, `0`,
+    /// `false`, `off` or `no` select the sequential executor; `1`,
+    /// `true`, `on` or `yes` select the parallel executor with one
+    /// worker per core; an integer `N >= 2` caps the workers at `N`.
+    pub fn from_env() -> Self {
+        match std::env::var("GRAPHENE_PAR") {
+            Err(_) => EngineOptions::default(),
+            Ok(v) => Self::parse_par(&v),
+        }
+    }
+
+    fn parse_par(v: &str) -> Self {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "false" | "off" | "no" => EngineOptions::default(),
+            "1" | "true" | "on" | "yes" => {
+                EngineOptions { executor: ExecutorKind::Parallel, threads: 0 }
+            }
+            other => match other.parse::<usize>() {
+                Ok(n) if n >= 2 => EngineOptions { executor: ExecutorKind::Parallel, threads: n },
+                _ => EngineOptions::default(),
+            },
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+}
 
 /// Typed backing storage of one tensor.
 #[derive(Clone, Debug)]
@@ -128,20 +211,55 @@ pub struct Engine {
     callbacks: HashMap<usize, HostCallback>,
     /// Optional timeline recorder, driven in lock-step with `stats`.
     trace: Option<TraceRecorder>,
+    options: EngineOptions,
 }
 
 impl Engine {
+    /// Build an engine with the executor selected by `GRAPHENE_PAR`
+    /// (sequential when unset). Panics with the hazard diagnostic if the
+    /// environment requests the parallel executor for a program that is
+    /// not parallel-safe — use [`Engine::with_options`] to handle the
+    /// error instead.
     pub fn new(exec: Executable) -> Self {
+        let options = EngineOptions::from_env();
+        Self::with_options(exec, options)
+            .unwrap_or_else(|e| panic!("GRAPHENE_PAR requested the parallel executor, but: {e}"))
+    }
+
+    /// Build an engine with explicit host-execution options. Selecting
+    /// [`ExecutorKind::Parallel`] validates the program with
+    /// [`parallel_hazards`] and returns its diagnostic on failure.
+    pub fn with_options(exec: Executable, options: EngineOptions) -> Result<Self, String> {
+        if options.executor == ExecutorKind::Parallel {
+            parallel_hazards(&exec.graph)?;
+        }
         let storage = exec.graph.tensors.iter().map(|t| Storage::zeros(t.dtype, t.len())).collect();
         let stats = CycleStats::new(exec.graph.model.num_tiles());
-        Engine {
+        Ok(Engine {
             graph: exec.graph,
             program: exec.program,
             storage,
             stats,
             callbacks: HashMap::new(),
             trace: None,
+            options,
+        })
+    }
+
+    /// Switch host executor between runs. Switching to
+    /// [`ExecutorKind::Parallel`] re-validates the program and reports
+    /// the aliasing hazard (if any) without changing the executor.
+    pub fn set_executor(&mut self, executor: ExecutorKind) -> Result<(), String> {
+        if executor == ExecutorKind::Parallel {
+            parallel_hazards(&self.graph)?;
         }
+        self.options.executor = executor;
+        Ok(())
+    }
+
+    /// The host executor currently selected.
+    pub fn executor(&self) -> ExecutorKind {
+        self.options.executor
     }
 
     pub fn graph(&self) -> &Graph {
@@ -207,12 +325,14 @@ impl Engine {
 
     /// Execute the program once.
     pub fn run(&mut self) {
+        let opts = EngineOptions { threads: self.options.effective_threads(), ..self.options };
         let mut ctx = ExecCtx {
             graph: &self.graph,
             storage: &mut self.storage,
             stats: &mut self.stats,
             callbacks: &mut self.callbacks,
             trace: &mut self.trace,
+            opts,
         };
         let program = self.program.clone();
         ctx.exec(&program);
@@ -235,6 +355,7 @@ struct ExecCtx<'a> {
     stats: &'a mut CycleStats,
     callbacks: &'a mut HashMap<usize, HostCallback>,
     trace: &'a mut Option<TraceRecorder>,
+    opts: EngineOptions,
 }
 
 impl ExecCtx<'_> {
@@ -345,7 +466,14 @@ impl ExecCtx<'_> {
         let cost = &self.graph.cost;
 
         // Compiler-inserted exchange for operands resident on other tiles
-        // (scalar broadcasts and the like).
+        // (scalar broadcasts and the like). The fabric moves each source
+        // region to each destination tile once, however many vertices on
+        // that tile read it — so copies are deduplicated on
+        // `(src_key, dst_tile)` before costing. Keys cover
+        // `(tensor, start, len)` of the region actually read, the same
+        // convention `exchange()` uses, so `ExchangeProgram`'s broadcast
+        // detection sees one send per distinct source region.
+        let mut seen: HashSet<(u64, TileId)> = HashSet::new();
         let mut bcast: Vec<BlockCopy> = Vec::new();
         for v in &cs.vertices {
             for op in &v.operands {
@@ -356,70 +484,75 @@ impl ExecCtx<'_> {
                     let chunk = t.chunk_of(i).expect("slice validated at compile time");
                     let stop = chunk.end().min(end);
                     if chunk.tile != v.tile {
-                        bcast.push(BlockCopy {
-                            src_tile: chunk.tile,
-                            dst_tile: v.tile,
-                            bytes: (stop - i) * t.dtype.size_bytes(),
-                            src_key: key_of(op.tensor, chunk.start, 0),
-                        });
+                        let src_key = key_of(op.tensor, i, stop - i);
+                        if seen.insert((src_key, v.tile)) {
+                            bcast.push(BlockCopy {
+                                src_tile: chunk.tile,
+                                dst_tile: v.tile,
+                                bytes: (stop - i) * t.dtype.size_bytes(),
+                                src_key,
+                            });
+                        }
                     }
                     i = stop;
                 }
             }
         }
+
+        // BSP sync before the compute set: every participating tile takes
+        // part in the barrier — including the *source* tiles of the
+        // compiler-inserted broadcast, which may sit on another chip even
+        // when the vertices themselves do not.
+        let tiles = cs.tiles();
+        let participants = tiles.iter().copied().chain(bcast.iter().map(|c| c.src_tile));
+        let sync_cycles = if spans_chips(model, participants) {
+            cost.sync_inter_ipu_cycles
+        } else {
+            cost.sync_on_chip_cycles
+        };
+
         if !bcast.is_empty() {
             let ep = ExchangeProgram::new(bcast);
             let cycles = ep.cycles(model, cost);
             self.record_exchange(&format!("bcast:{}", cs.name), &ep, cycles);
         }
+        self.record_sync(sync_cycles);
 
-        // BSP sync before the compute set.
-        let tiles = cs.tiles();
-        let multi_chip =
-            tiles.first().map(|&f| tiles.iter().any(|&t| !model.same_chip(f, t))).unwrap_or(false);
-        self.record_sync(if multi_chip {
-            cost.sync_inter_ipu_cycles
-        } else {
-            cost.sync_on_chip_cycles
-        });
-
-        // Run the vertices, accumulating per-tile cycles.
-        let mut per_tile: HashMap<TileId, u64> = HashMap::new();
-        for v in &cs.vertices {
-            let cycles = self.run_vertex(v);
-            *per_tile.entry(v.tile).or_insert(0) += cycles;
-        }
-        self.record_compute(&cs.name.clone(), per_tile.into_iter().collect());
-    }
-
-    fn run_vertex(&mut self, v: &crate::compute::Vertex) -> u64 {
-        let codelet = &self.graph.codelets[v.codelet];
-        let cost = &self.graph.cost;
-        let workers = self.graph.model.workers_per_tile as u64;
-        let mut params = build_params(self.storage, &v.operands);
-        match &v.kind {
-            VertexKind::Simple => {
-                let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
-                interp.run(&codelet.body)
-            }
-            VertexKind::LevelSet { levels } => {
-                let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
-                let mut row_cost: HashMap<usize, u64> = HashMap::new();
-                for level in levels {
-                    for &row in level {
-                        interp.locals[0] = Value::I32(row as i32);
-                        let before = interp.cycles;
-                        interp.run(&codelet.body);
-                        row_cost.insert(row, interp.cycles - before);
-                    }
+        // Run the vertices, accumulating per-tile cycles. Both executors
+        // emit the per-tile list sorted by tile id, so the recorded stats
+        // and trace events are identical whichever executor ran and
+        // whatever the host's thread or hash-iteration order was.
+        let bases = TensorBases::new(self.storage);
+        let per_tile: Vec<(TileId, u64)> = match self.opts.executor {
+            ExecutorKind::Sequential => {
+                let mut acc: BTreeMap<TileId, u64> = BTreeMap::new();
+                for v in &cs.vertices {
+                    let cycles = run_vertex(self.graph, &bases, v);
+                    *acc.entry(v.tile).or_insert(0) += cycles;
                 }
-                let schedule =
-                    ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
-                        row_cost[&i]
-                    });
-                schedule.cycles(|i| row_cost[&i], cost)
+                acc.into_iter().collect()
             }
-        }
+            ExecutorKind::Parallel => {
+                // Group by tile, preserving each tile's vertex order (a
+                // tile's vertices may have read-after-write dependencies
+                // among themselves; cross-tile dependencies were rejected
+                // by `parallel_hazards`). `par_chunks_map` hands each
+                // worker an owned, contiguous span of tile groups and
+                // reassembles results positionally, so the merge order is
+                // tile-ascending by construction.
+                let mut groups: BTreeMap<TileId, Vec<&Vertex>> = BTreeMap::new();
+                for v in &cs.vertices {
+                    groups.entry(v.tile).or_default().push(v);
+                }
+                let work: Vec<(TileId, Vec<&Vertex>)> = groups.into_iter().collect();
+                let graph = self.graph;
+                let bases = &bases;
+                rayon::par_chunks_map(work, self.opts.threads, move |(tile, vs)| {
+                    (tile, vs.iter().map(|v| run_vertex(graph, bases, v)).sum::<u64>())
+                })
+            }
+        };
+        self.record_compute(&cs.name.clone(), per_tile);
     }
 
     fn exchange(&mut self, ex: &ExchangeStep) {
@@ -440,7 +573,16 @@ impl ExecCtx<'_> {
                 }
             })
             .collect();
-        self.record_sync(cost.sync_on_chip_cycles);
+        // The barrier before an exchange spans every participating tile;
+        // a copy that crosses chips needs the inter-IPU sync, exactly as
+        // `execute_compute_set` charges it for its compute sets.
+        let participants = copies.iter().flat_map(|c| [c.src_tile, c.dst_tile]);
+        let sync_cycles = if spans_chips(model, participants) {
+            cost.sync_inter_ipu_cycles
+        } else {
+            cost.sync_on_chip_cycles
+        };
+        self.record_sync(sync_cycles);
         let ep = ExchangeProgram::new(copies);
         let cycles = ep.cycles(model, cost);
         self.record_exchange(&ex.name, &ep, cycles);
@@ -476,55 +618,216 @@ fn key_of(tensor: TensorId, start: usize, len: usize) -> u64 {
     h.finish()
 }
 
-/// Hand out one (mutable) slice per operand.
+/// Does the tile set span more than one chip?
+fn spans_chips(model: &IpuModel, tiles: impl IntoIterator<Item = TileId>) -> bool {
+    let mut it = tiles.into_iter();
+    match it.next() {
+        None => false,
+        Some(first) => it.any(|t| !model.same_chip(first, t)),
+    }
+}
+
+/// Check that every compute set in `graph` is safe to execute with the
+/// tile-parallel host executor.
 ///
-/// Soundness: graph compilation rejects any pair of overlapping operands
-/// within a vertex, so the produced slices are pairwise disjoint; the raw
-/// base pointer of each tensor's storage is taken once.
-fn build_params<'a>(storage: &'a mut [Storage], operands: &[TensorSlice]) -> Vec<ParamData<'a>> {
-    enum Base {
-        F32(*mut f32),
-        I32(*mut i32),
-        Bool(*mut bool),
-        Dw(*mut TwoF32),
-        F64(*mut SoftDouble),
+/// Graph compilation already guarantees that *writes* are disjoint across
+/// tiles (mutable operands must be resident on the vertex's tile, and a
+/// tensor's tile chunks never overlap), so the only remaining hazard is a
+/// vertex on one tile **reading** a region that a vertex on *another* tile
+/// **writes** within the same compute set: sequential execution would give
+/// an order-dependent answer and parallel execution a data race. Reads and
+/// writes on the *same* tile are fine — the parallel executor preserves
+/// each tile's vertex order.
+///
+/// Returns a diagnostic naming the compute set, tensor, tiles and element
+/// ranges of the first aliasing pair found.
+pub fn parallel_hazards(graph: &Graph) -> Result<(), String> {
+    for cs in &graph.compute_sets {
+        // Written regions per tensor: (start, end, writer tile), sorted.
+        let mut writes: HashMap<TensorId, Vec<(usize, usize, TileId)>> = HashMap::new();
+        for v in &cs.vertices {
+            let codelet = &graph.codelets[v.codelet];
+            for (op, decl) in v.operands.iter().zip(&codelet.params) {
+                if decl.mutable {
+                    writes.entry(op.tensor).or_default().push((
+                        op.start,
+                        op.start + op.len,
+                        v.tile,
+                    ));
+                }
+            }
+        }
+        for w in writes.values_mut() {
+            w.sort_unstable();
+        }
+        for v in &cs.vertices {
+            let codelet = &graph.codelets[v.codelet];
+            for (op, decl) in v.operands.iter().zip(&codelet.params) {
+                if decl.mutable {
+                    continue;
+                }
+                let Some(ws) = writes.get(&op.tensor) else { continue };
+                let (rs, re) = (op.start, op.start + op.len);
+                for &(s, e, t) in ws {
+                    if s >= re {
+                        break;
+                    }
+                    if e > rs && t != v.tile {
+                        return Err(format!(
+                            "compute set '{}' is not parallel-safe: a vertex on tile {} \
+                             reads '{}'[{}..{}] while a vertex on tile {} writes \
+                             '{}'[{}..{}] in the same compute set",
+                            cs.name,
+                            v.tile,
+                            graph.tensors[op.tensor].name,
+                            rs,
+                            re,
+                            t,
+                            graph.tensors[op.tensor].name,
+                            s,
+                            e,
+                        ));
+                    }
+                }
+            }
+        }
     }
-    let mut bases: HashMap<TensorId, Base> = HashMap::new();
-    for op in operands {
-        bases.entry(op.tensor).or_insert_with(|| match &mut storage[op.tensor] {
-            Storage::F32(v) => Base::F32(v.as_mut_ptr()),
-            Storage::I32(v) => Base::I32(v.as_mut_ptr()),
-            Storage::Bool(v) => Base::Bool(v.as_mut_ptr()),
-            Storage::Dw(v) => Base::Dw(v.as_mut_ptr()),
-            Storage::F64(v) => Base::F64(v.as_mut_ptr()),
-        });
+    Ok(())
+}
+
+/// Raw per-tensor base pointers into the engine's storage.
+///
+/// Built once per compute set on the engine thread from the unique
+/// `&mut [Storage]`, then shared read-only across the host workers of the
+/// parallel executor (or used in place by the sequential one).
+struct TensorBases {
+    bases: Vec<RawBase>,
+}
+
+#[derive(Clone, Copy)]
+enum RawBase {
+    F32(*mut f32),
+    I32(*mut i32),
+    Bool(*mut bool),
+    Dw(*mut TwoF32),
+    F64(*mut SoftDouble),
+}
+
+// SAFETY: the pointers are only dereferenced through `params_from_bases`,
+// which materialises `&mut` slices solely for *mutable* operands. Graph
+// compilation guarantees mutable operands are resident on the vertex's
+// tile, tensor tile chunks are disjoint, and operands within a vertex
+// never alias; `parallel_hazards` additionally rejects any cross-tile
+// read/write overlap within a compute set. The parallel executor assigns
+// each tile's vertices to exactly one worker, so no two threads ever hold
+// overlapping ranges with at least one `&mut`.
+unsafe impl Send for TensorBases {}
+unsafe impl Sync for TensorBases {}
+
+impl TensorBases {
+    fn new(storage: &mut [Storage]) -> TensorBases {
+        let bases = storage
+            .iter_mut()
+            .map(|s| match s {
+                Storage::F32(v) => RawBase::F32(v.as_mut_ptr()),
+                Storage::I32(v) => RawBase::I32(v.as_mut_ptr()),
+                Storage::Bool(v) => RawBase::Bool(v.as_mut_ptr()),
+                Storage::Dw(v) => RawBase::Dw(v.as_mut_ptr()),
+                Storage::F64(v) => RawBase::F64(v.as_mut_ptr()),
+            })
+            .collect();
+        TensorBases { bases }
     }
+}
+
+/// Hand out one slice per operand: `&mut` for mutable parameters, shared
+/// for immutable ones (so concurrent readers of a broadcast operand never
+/// manufacture aliasing `&mut` references).
+fn params_from_bases<'a>(
+    bases: &'a TensorBases,
+    codelet: &Codelet,
+    operands: &[TensorSlice],
+) -> Vec<ParamData<'a>> {
     operands
         .iter()
-        .map(|op| {
-            // SAFETY: slices validated in-bounds at compile time; operands
-            // pairwise disjoint; base pointers taken once per tensor above.
+        .zip(&codelet.params)
+        .map(|(op, decl)| {
+            // SAFETY: slices validated in-bounds at compile time; see the
+            // disjointness argument on `TensorBases`.
             unsafe {
-                match bases[&op.tensor] {
-                    Base::F32(p) => {
-                        ParamData::F32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                match bases.bases[op.tensor] {
+                    RawBase::F32(p) => {
+                        if decl.mutable {
+                            ParamData::F32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                        } else {
+                            ParamData::F32Ro(std::slice::from_raw_parts(p.add(op.start), op.len))
+                        }
                     }
-                    Base::I32(p) => {
-                        ParamData::I32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    RawBase::I32(p) => {
+                        if decl.mutable {
+                            ParamData::I32(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                        } else {
+                            ParamData::I32Ro(std::slice::from_raw_parts(p.add(op.start), op.len))
+                        }
                     }
-                    Base::Bool(p) => {
-                        ParamData::Bool(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    RawBase::Bool(p) => {
+                        if decl.mutable {
+                            ParamData::Bool(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                        } else {
+                            ParamData::BoolRo(std::slice::from_raw_parts(p.add(op.start), op.len))
+                        }
                     }
-                    Base::Dw(p) => {
-                        ParamData::Dw(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    RawBase::Dw(p) => {
+                        if decl.mutable {
+                            ParamData::Dw(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                        } else {
+                            ParamData::DwRo(std::slice::from_raw_parts(p.add(op.start), op.len))
+                        }
                     }
-                    Base::F64(p) => {
-                        ParamData::F64(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                    RawBase::F64(p) => {
+                        if decl.mutable {
+                            ParamData::F64(std::slice::from_raw_parts_mut(p.add(op.start), op.len))
+                        } else {
+                            ParamData::F64Ro(std::slice::from_raw_parts(p.add(op.start), op.len))
+                        }
                     }
                 }
             }
         })
         .collect()
+}
+
+/// Interpret one vertex and return its cycle count. Free of engine state
+/// so both executors share it verbatim — a vertex's result depends only
+/// on the graph, the storage it reads and its own operands.
+fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> u64 {
+    let codelet = &graph.codelets[v.codelet];
+    let cost = &graph.cost;
+    let workers = graph.model.workers_per_tile as u64;
+    let mut params = params_from_bases(bases, codelet, &v.operands);
+    match &v.kind {
+        VertexKind::Simple => {
+            let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
+            interp.run(&codelet.body)
+        }
+        VertexKind::LevelSet { levels } => {
+            let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
+            let mut row_cost: HashMap<usize, u64> = HashMap::new();
+            for level in levels {
+                for &row in level {
+                    interp.locals[0] = Value::I32(row as i32);
+                    let before = interp.cycles;
+                    interp.run(&codelet.body);
+                    row_cost.insert(row, interp.cycles - before);
+                }
+            }
+            let schedule =
+                ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
+                    row_cost[&i]
+                });
+            schedule.cycles(|i| row_cost[&i], cost)
+        }
+    }
 }
 
 fn index_two(storage: &mut [Storage], a: usize, b: usize) -> (&mut Storage, &mut Storage) {
@@ -975,6 +1278,353 @@ mod tests {
         e.run();
         let want = e.stats().device_cycles() as f64 / hz;
         assert!((e.elapsed_seconds() - want).abs() < 1e-15);
+    }
+
+    /// A 2-chip × 2-tile system: tiles {0,1} on chip 0, {2,3} on chip 1.
+    fn two_chips() -> IpuModel {
+        IpuModel { num_ipus: 2, tiles_per_ipu: 2, ..IpuModel::mk2() }
+    }
+
+    /// Codelet filling a mutable vector with a read-only scalar.
+    fn fill_codelet(g: &mut Graph) -> usize {
+        g.add_codelet(Codelet {
+            name: "fill".into(),
+            params: vec![
+                ParamDecl { dtype: DType::F32, mutable: false },
+                ParamDecl { dtype: DType::F32, mutable: true },
+            ],
+            num_locals: 1,
+            body: vec![Stmt::For {
+                local: 0,
+                start: Expr::c(Value::I32(0)),
+                end: Expr::ParamLen(1),
+                step: Expr::c(Value::I32(1)),
+                body: vec![Stmt::Store {
+                    param: 1,
+                    index: Expr::Local(0),
+                    value: Expr::index(0, Expr::c(Value::I32(0))),
+                }],
+            }],
+        })
+        .unwrap()
+    }
+
+    /// Codelet doubling its single mutable vector parameter.
+    fn double_codelet(g: &mut Graph) -> usize {
+        g.add_codelet(Codelet {
+            name: "double".into(),
+            params: vec![ParamDecl { dtype: DType::F32, mutable: true }],
+            num_locals: 1,
+            body: vec![Stmt::ParFor {
+                local: 0,
+                start: Expr::c(Value::I32(0)),
+                end: Expr::ParamLen(0),
+                body: vec![Stmt::Store {
+                    param: 0,
+                    index: Expr::Local(0),
+                    value: Expr::bin(
+                        BinOp::Mul,
+                        Expr::index(0, Expr::Local(0)),
+                        Expr::c(Value::F32(2.0)),
+                    ),
+                }],
+            }],
+        })
+        .unwrap()
+    }
+
+    // ---- satellite regression: exchange() must charge the inter-IPU
+    // sync when a copy crosses chips, exactly as execute_compute_set
+    // does for a compute set spanning the same tiles. ------------------
+
+    #[test]
+    fn inter_chip_exchange_charges_inter_ipu_sync() {
+        // Copy from tile 0 (chip 0) to tile 2 (chip 1).
+        let mut g = Graph::new(two_chips());
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::F32, 4, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::F32, 4, 2)).unwrap();
+        let want = g.cost.sync_inter_ipu_cycles;
+        let ex = ExchangeStep {
+            name: "cross".into(),
+            copies: vec![ElemCopy { src: a, src_start: 0, dst: b, dst_start: 0, len: 4 }],
+        };
+        let mut e = Engine::new(g.compile(Prog::Exchange(ex)).unwrap());
+        e.run();
+        assert_eq!(
+            e.stats().phase_cycles(Phase::Sync),
+            want,
+            "an exchange whose copies cross chips must pay the inter-IPU sync"
+        );
+
+        // The same tiles participating in a compute set pay the same sync:
+        // the two paths must agree.
+        let mut g2 = Graph::new(two_chips());
+        let x0 = g2.add_tensor(TensorDef::on_tile("x0", DType::F32, 4, 0)).unwrap();
+        let x2 = g2.add_tensor(TensorDef::on_tile("x2", DType::F32, 4, 2)).unwrap();
+        let c = double_codelet(&mut g2);
+        let mut cs = ComputeSet::new("span");
+        for (tile, t) in [(0usize, x0), (2usize, x2)] {
+            cs.add(Vertex {
+                tile,
+                codelet: c,
+                operands: vec![TensorSlice::whole(t, 4)],
+                kind: VertexKind::Simple,
+            });
+        }
+        let cs = g2.add_compute_set(cs).unwrap();
+        let mut e2 = Engine::new(g2.compile(Prog::Execute(cs)).unwrap());
+        e2.run();
+        assert_eq!(
+            e2.stats().phase_cycles(Phase::Sync),
+            e.stats().phase_cycles(Phase::Sync),
+            "exchange and compute-set sync costs disagree for the same tile span"
+        );
+    }
+
+    #[test]
+    fn on_chip_exchange_still_charges_on_chip_sync() {
+        let mut g = Graph::new(two_chips());
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::F32, 4, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::F32, 4, 1)).unwrap();
+        let want = g.cost.sync_on_chip_cycles;
+        let ex = ExchangeStep {
+            name: "local".into(),
+            copies: vec![ElemCopy { src: a, src_start: 0, dst: b, dst_start: 0, len: 4 }],
+        };
+        let mut e = Engine::new(g.compile(Prog::Exchange(ex)).unwrap());
+        e.run();
+        assert_eq!(e.stats().phase_cycles(Phase::Sync), want);
+    }
+
+    // ---- satellite regression: the compiler-inserted broadcast must
+    // move each (source region, destination tile) pair exactly once,
+    // however many vertices on that tile read it. ----------------------
+
+    /// Exchange cost/volume of a compute set with `n` vertices on tile 1
+    /// all reading the same remote scalar on tile 0.
+    fn bcast_fanin(n: usize) -> (u64, u64) {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let s = g.add_scalar("alpha", DType::F32).unwrap();
+        let c = fill_codelet(&mut g);
+        let mut cs = ComputeSet::new("fanin");
+        for i in 0..n {
+            let y = g.add_tensor(TensorDef::on_tile(&format!("y{i}"), DType::F32, 4, 1)).unwrap();
+            cs.add(Vertex {
+                tile: 1,
+                codelet: c,
+                operands: vec![TensorSlice::whole(s, 1), TensorSlice::whole(y, 4)],
+                kind: VertexKind::Simple,
+            });
+        }
+        let cs = g.add_compute_set(cs).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
+        e.run();
+        (e.stats().phase_cycles(Phase::Exchange), e.stats().exchange_bytes())
+    }
+
+    #[test]
+    fn broadcast_to_same_tile_is_deduplicated() {
+        let (one_cycles, one_bytes) = bcast_fanin(1);
+        let (three_cycles, three_bytes) = bcast_fanin(3);
+        assert!(one_bytes > 0);
+        assert_eq!(
+            three_bytes, one_bytes,
+            "three vertices on one tile reading the same remote scalar must cost one copy"
+        );
+        assert_eq!(three_cycles, one_cycles, "deduplicated broadcast must cost one transfer");
+    }
+
+    #[test]
+    fn broadcast_to_distinct_tiles_still_fans_out() {
+        // The dedupe key includes the destination tile: readers on
+        // *different* tiles each receive their own copy.
+        let mut g = Graph::new(IpuModel::tiny(3));
+        let s = g.add_scalar("alpha", DType::F32).unwrap();
+        let c = fill_codelet(&mut g);
+        let mut cs = ComputeSet::new("fanout");
+        for tile in 1..3 {
+            let y =
+                g.add_tensor(TensorDef::on_tile(&format!("y{tile}"), DType::F32, 4, tile)).unwrap();
+            cs.add(Vertex {
+                tile,
+                codelet: c,
+                operands: vec![TensorSlice::whole(s, 1), TensorSlice::whole(y, 4)],
+                kind: VertexKind::Simple,
+            });
+        }
+        let cs = g.add_compute_set(cs).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
+        e.run();
+        let (_, one_bytes) = bcast_fanin(1);
+        assert_eq!(e.stats().exchange_bytes(), 2 * one_bytes, "one copy per destination tile");
+    }
+
+    // ---- satellite regression: a broadcast whose *source* lives on
+    // another chip forces the inter-IPU sync even when the compute
+    // set's vertices all sit on one chip. ------------------------------
+
+    #[test]
+    fn remote_chip_broadcast_source_forces_inter_ipu_sync() {
+        let mut g = Graph::new(two_chips());
+        let s = g.add_scalar("alpha", DType::F32).unwrap(); // tile 0, chip 0
+        let y = g.add_tensor(TensorDef::on_tile("y", DType::F32, 4, 2)).unwrap(); // chip 1
+        let want = g.cost.sync_inter_ipu_cycles;
+        let c = fill_codelet(&mut g);
+        let mut cs = ComputeSet::new("fill");
+        cs.add(Vertex {
+            tile: 2,
+            codelet: c,
+            operands: vec![TensorSlice::whole(s, 1), TensorSlice::whole(y, 4)],
+            kind: VertexKind::Simple,
+        });
+        let cs = g.add_compute_set(cs).unwrap();
+        let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
+        e.write_scalar(s, 3.0);
+        e.run();
+        assert_eq!(e.read_tensor(y), vec![3.0; 4]);
+        assert_eq!(
+            e.stats().phase_cycles(Phase::Sync),
+            want,
+            "a broadcast sourced from another chip must pay the inter-IPU sync"
+        );
+    }
+
+    // ---- the parallel host executor ----------------------------------
+
+    fn fingerprint(e: &Engine) -> (u64, u64, u64, u64, Vec<(String, [u64; 3])>) {
+        (
+            e.stats().device_cycles(),
+            e.stats().exchange_bytes(),
+            e.stats().supersteps(),
+            e.stats().sync_count(),
+            e.stats().labels_by_phase_sorted(),
+        )
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_bitwise() {
+        for threads in [0usize, 2, 3, 16] {
+            let (exec, x) = double_in_place();
+            let mut seq = Engine::with_options(
+                Executable { graph: exec.graph.clone(), program: exec.program.clone() },
+                EngineOptions::default(),
+            )
+            .unwrap();
+            let mut par = Engine::with_options(
+                exec,
+                EngineOptions { executor: ExecutorKind::Parallel, threads },
+            )
+            .unwrap();
+            let input = [1.5, -2.0, 3.25, 4.0, 5.5, -6.0, 7.75, 8.0];
+            seq.write_tensor(x, &input);
+            par.write_tensor(x, &input);
+            seq.run();
+            par.run();
+            let sx: Vec<u64> = seq.read_tensor(x).iter().map(|v| v.to_bits()).collect();
+            let px: Vec<u64> = par.read_tensor(x).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sx, px, "threads={threads}: tensor bits differ");
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "threads={threads}: stats differ");
+            for t in 0..2 {
+                assert_eq!(seq.stats().tile_busy(t), par.stats().tile_busy(t));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_executor_rejects_cross_tile_read_write_hazard() {
+        // Tile 0 writes x[0..4] while tile 1 reads it in the same
+        // compute set: sequential execution is order-dependent, parallel
+        // execution a race — the engine must refuse with a clear error.
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let x = g.add_tensor(TensorDef::linear("x", DType::F32, 8, 2)).unwrap();
+        let y = g.add_tensor(TensorDef::on_tile("y", DType::F32, 4, 1)).unwrap();
+        let dbl = double_codelet(&mut g);
+        let fill = fill_codelet(&mut g);
+        let mut cs = ComputeSet::new("hazard");
+        cs.add(Vertex {
+            tile: 0,
+            codelet: dbl,
+            operands: vec![TensorSlice { tensor: x, start: 0, len: 4 }],
+            kind: VertexKind::Simple,
+        });
+        cs.add(Vertex {
+            tile: 1,
+            codelet: fill,
+            operands: vec![TensorSlice { tensor: x, start: 0, len: 1 }, TensorSlice::whole(y, 4)],
+            kind: VertexKind::Simple,
+        });
+        let cs = g.add_compute_set(cs).unwrap();
+        let exec = g.compile(Prog::Execute(cs)).unwrap();
+        assert!(parallel_hazards(&exec.graph).is_err());
+        let err = Engine::with_options(
+            Executable { graph: exec.graph.clone(), program: exec.program.clone() },
+            EngineOptions { executor: ExecutorKind::Parallel, threads: 0 },
+        )
+        .err()
+        .expect("hazardous program must be rejected");
+        assert!(err.contains("not parallel-safe"), "{err}");
+        assert!(err.contains("reads") && err.contains("writes"), "{err}");
+
+        // The sequential engine still accepts it, and switching later
+        // reports the same diagnostic without changing the executor.
+        let mut e = Engine::with_options(exec, EngineOptions::default()).unwrap();
+        assert!(e.set_executor(ExecutorKind::Parallel).is_err());
+        assert_eq!(e.executor(), ExecutorKind::Sequential);
+    }
+
+    #[test]
+    fn same_tile_read_after_write_is_parallel_safe() {
+        // A read overlapping a write from a vertex on the *same* tile is
+        // ordered by the per-tile worker, exactly as in program order.
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let x = g.add_tensor(TensorDef::on_tile("x", DType::F32, 4, 0)).unwrap();
+        let y = g.add_tensor(TensorDef::on_tile("y", DType::F32, 4, 0)).unwrap();
+        let dbl = double_codelet(&mut g);
+        let fill = fill_codelet(&mut g);
+        let mut cs = ComputeSet::new("chain");
+        cs.add(Vertex {
+            tile: 0,
+            codelet: dbl,
+            operands: vec![TensorSlice::whole(x, 4)],
+            kind: VertexKind::Simple,
+        });
+        cs.add(Vertex {
+            tile: 0,
+            codelet: fill,
+            operands: vec![TensorSlice { tensor: x, start: 0, len: 1 }, TensorSlice::whole(y, 4)],
+            kind: VertexKind::Simple,
+        });
+        let cs = g.add_compute_set(cs).unwrap();
+        let exec = g.compile(Prog::Execute(cs)).unwrap();
+        assert!(parallel_hazards(&exec.graph).is_ok());
+        let mut e = Engine::with_options(
+            exec,
+            EngineOptions { executor: ExecutorKind::Parallel, threads: 4 },
+        )
+        .unwrap();
+        e.write_tensor(x, &[2.0, 0.0, 0.0, 0.0]);
+        e.run();
+        assert_eq!(e.read_tensor(y), vec![4.0; 4], "same-tile RAW order must be preserved");
+    }
+
+    #[test]
+    fn graphene_par_values_parse() {
+        use ExecutorKind::*;
+        for (v, kind, threads) in [
+            ("0", Sequential, 0),
+            ("false", Sequential, 0),
+            ("off", Sequential, 0),
+            ("", Sequential, 0),
+            ("garbage", Sequential, 0),
+            ("1", Parallel, 0),
+            ("true", Parallel, 0),
+            ("ON", Parallel, 0),
+            ("2", Parallel, 2),
+            ("8", Parallel, 8),
+        ] {
+            let o = EngineOptions::parse_par(v);
+            assert_eq!((o.executor, o.threads), (kind, threads), "GRAPHENE_PAR={v}");
+        }
     }
 
     #[test]

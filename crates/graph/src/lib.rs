@@ -32,7 +32,7 @@ pub use codelet::{
     BinOp, Codelet, CodeletId, Expr, LocalId, ParamDecl, ParamId, Stmt, UnOp, Value,
 };
 pub use compute::{ComputeSet, ComputeSetId, Vertex, VertexKind};
-pub use engine::Engine;
+pub use engine::{parallel_hazards, Engine, EngineOptions, ExecutorKind};
 pub use graph::{CompileError, Executable, Graph};
 pub use program::{ExchangeStep, Prog};
 pub use tensor::{TensorChunk, TensorDef, TensorId};

@@ -121,6 +121,11 @@ impl CycleStats {
     /// Record one compute superstep: `per_tile` holds the busy cycles of
     /// each participating tile; device time advances by the maximum
     /// (the BSP makespan).
+    ///
+    /// The accumulation is order-independent (per-tile sums and a max), so
+    /// per-worker cycle buffers produced by a parallel host executor can be
+    /// merged in any deterministic order — the engine uses tile-id order —
+    /// and yield stats identical to sequential execution.
     pub fn record_compute(&mut self, per_tile: impl IntoIterator<Item = (TileId, u64)>) {
         let mut max = 0;
         for (tile, cycles) in per_tile {
@@ -289,6 +294,21 @@ mod tests {
         assert_eq!(s.tile_busy(0), 10);
         assert_eq!(s.tile_busy(1), 30);
         assert_eq!(s.supersteps(), 1);
+    }
+
+    #[test]
+    fn record_compute_is_order_independent() {
+        // The parallel host executor merges per-worker buffers in tile-id
+        // order; sequential execution feeds vertices in program order. The
+        // contract both rely on: any permutation of the same per-tile
+        // pairs records identical stats.
+        let mut fwd = CycleStats::new(4);
+        fwd.record_compute([(0, 10), (1, 30), (2, 20), (3, 5)]);
+        let mut rev = CycleStats::new(4);
+        rev.record_compute([(3, 5), (2, 20), (1, 30), (0, 10)]);
+        assert_eq!(fwd.device_cycles(), rev.device_cycles());
+        assert_eq!(fwd.tile_busy_all(), rev.tile_busy_all());
+        assert_eq!(fwd.supersteps(), rev.supersteps());
     }
 
     #[test]

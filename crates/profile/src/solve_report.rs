@@ -94,6 +94,13 @@ pub struct SolveReport {
     pub iterations: usize,
     pub final_residual: f64,
     pub seconds: f64,
+    /// Host wall-clock seconds spent inside `engine.run()` (0.0 when not
+    /// measured) — the quantity the parallel host executor improves;
+    /// device `seconds` are identical across executors by construction.
+    pub host_seconds: f64,
+    /// Host executor that ran the solve (`"sequential"`/`"parallel"`;
+    /// empty when unrecorded).
+    pub executor: String,
     /// (iteration, true relative residual) samples.
     pub history: Vec<(usize, f64)>,
     pub cycles: CycleBreakdown,
@@ -115,6 +122,8 @@ impl SolveReport {
             iterations: 0,
             final_residual: 0.0,
             seconds: 0.0,
+            host_seconds: 0.0,
+            executor: String::new(),
             history: Vec::new(),
             cycles: CycleBreakdown::default(),
             labels: Vec::new(),
@@ -187,6 +196,8 @@ impl SolveReport {
                     ("iterations", Json::from(self.iterations)),
                     ("final_residual", Json::from(self.final_residual)),
                     ("seconds", Json::from(self.seconds)),
+                    ("host_seconds", Json::from(self.host_seconds)),
+                    ("executor", Json::from(self.executor.as_str())),
                     (
                         "history",
                         Json::arr(
@@ -315,6 +326,9 @@ impl SolveReport {
             iterations: u64_of(solve, "iterations")? as usize,
             final_residual: f64_of(solve, "final_residual")?,
             seconds: f64_of(solve, "seconds")?,
+            // Absent in reports written before host timing existed.
+            host_seconds: solve.get("host_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            executor: solve.get("executor").and_then(Json::as_str).unwrap_or_default().to_string(),
             history,
             cycles: CycleBreakdown {
                 device: u64_of(cycles, "device")?,
@@ -474,6 +488,30 @@ mod tests {
         }
         let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
         assert_eq!(parsed.cycles.label_underflows, 0);
+    }
+
+    #[test]
+    fn host_timing_round_trips_and_legacy_reports_parse() {
+        let mut r = SolveReport::new("t").with_stats(&sample_stats());
+        r.host_seconds = 0.125;
+        r.executor = "parallel".to_string();
+        let back = SolveReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.host_seconds, 0.125);
+        assert_eq!(back.executor, "parallel");
+        // Reports written before host timing existed parse with defaults.
+        let mut legacy = r.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            for (k, v) in pairs.iter_mut() {
+                if k == "solve" {
+                    if let Json::Obj(sp) = v {
+                        sp.retain(|(sk, _)| sk != "host_seconds" && sk != "executor");
+                    }
+                }
+            }
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.host_seconds, 0.0);
+        assert_eq!(parsed.executor, "");
     }
 
     #[test]

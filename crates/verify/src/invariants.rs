@@ -12,14 +12,22 @@
 //!   `CycleStats::exchange_bytes()`, the label stack must balance
 //!   (`label_underflows == 0`), and the per-label cycle attribution must
 //!   partition `device_cycles` exactly.
+//! * [`assert_executor_equivalence`] — the same solve under the
+//!   sequential and the tile-parallel host executor must produce
+//!   bit-identical solution tensors *and* identical cycle profiles
+//!   (device cycles, per-phase splits, per-label partitions, per-tile
+//!   busy time). Any drift means the parallel merge order or the
+//!   storage-view partitioning leaked into observable state.
 
 use std::rc::Rc;
 
 use dsl::prelude::*;
+use graph::ExecutorKind;
 use graphene_core::config::SolverConfig;
 use graphene_core::dist::DistSystem;
 use graphene_core::runner::{solve, SolveOptions, SolveResult};
 use graphene_core::solvers::solver_from_config;
+use ipu_sim::clock::Phase;
 use profile::TraceRecorder;
 use sparse::formats::CsrMatrix;
 
@@ -69,6 +77,69 @@ pub fn assert_deterministic(
     assert_eq!(lb1, lb2, "per-label cycle splits differ between identical runs");
     assert_eq!(r1.iterations, r2.iterations, "iteration counts differ");
     DeterminismReport { device_cycles: dc1, iterations: r1.iterations, exchange_bytes: xb1 }
+}
+
+/// What the dual-executor equivalence check compared.
+#[derive(Clone, Debug)]
+pub struct ExecutorEquivalence {
+    pub device_cycles: u64,
+    pub iterations: usize,
+}
+
+/// Run the same solve under both host executors and require bit-identical
+/// solutions and cycle-identical profiles.
+///
+/// This is the determinism-under-parallelism contract of the tile-parallel
+/// executor: vertices are partitioned across host workers, but per-tile
+/// cycles merge in tile-id order and writes are disjoint by construction,
+/// so *nothing* observable may differ — solution bits, device cycles,
+/// per-phase splits, per-label partitions, per-tile busy time, superstep
+/// and sync counts, exchanged bytes, or the recorded history.
+pub fn assert_executor_equivalence(
+    a: Rc<CsrMatrix>,
+    b: &[f64],
+    config: &SolverConfig,
+) -> ExecutorEquivalence {
+    let seq_opts = SolveOptions {
+        executor: Some(ExecutorKind::Sequential),
+        record_history: true,
+        ..sim_opts()
+    };
+    let par_opts =
+        SolveOptions { executor: Some(ExecutorKind::Parallel), record_history: true, ..sim_opts() };
+    let rs = solve(a.clone(), b, config, &seq_opts);
+    let rp = solve(a.clone(), b, config, &par_opts);
+    let (xs, dcs, xbs, sss, scs, lbs) = fingerprint(&rs);
+    let (xp, dcp, xbp, ssp, scp, lbp) = fingerprint(&rp);
+    assert_eq!(xs, xp, "solution bits differ between executors");
+    assert_eq!(dcs, dcp, "device cycles differ between executors");
+    assert_eq!(xbs, xbp, "exchanged bytes differ between executors");
+    assert_eq!(sss, ssp, "superstep counts differ between executors");
+    assert_eq!(scs, scp, "sync counts differ between executors");
+    assert_eq!(lbs, lbp, "per-label cycle partitions differ between executors");
+    for phase in [Phase::Compute, Phase::Exchange, Phase::Sync] {
+        assert_eq!(
+            rs.stats.phase_cycles(phase),
+            rp.stats.phase_cycles(phase),
+            "{phase:?} cycles differ between executors"
+        );
+        assert_eq!(
+            rs.stats.unlabelled_phase_cycles(phase),
+            rp.stats.unlabelled_phase_cycles(phase),
+            "unlabelled {phase:?} cycles differ between executors"
+        );
+    }
+    assert_eq!(
+        rs.stats.tile_busy_all(),
+        rp.stats.tile_busy_all(),
+        "per-tile busy cycles differ between executors"
+    );
+    assert_eq!(rs.iterations, rp.iterations, "iteration counts differ between executors");
+    let hs: Vec<(usize, u64)> = rs.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    let hp: Vec<(usize, u64)> = rp.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    assert_eq!(hs, hp, "residual histories differ between executors");
+    assert_eq!(rs.report.seconds, rp.report.seconds, "device seconds differ between executors");
+    ExecutorEquivalence { device_cycles: dcs, iterations: rs.iterations }
 }
 
 /// What the exchange-conservation audit measured.
@@ -142,6 +213,16 @@ mod tests {
         let rep = assert_deterministic(a, &b, &cfg);
         assert!(rep.device_cycles > 0);
         assert!(rep.exchange_bytes > 0);
+    }
+
+    #[test]
+    fn small_bicgstab_run_matches_across_executors() {
+        let a = Rc::new(poisson_2d_5pt(6, 6, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 12, rel_tol: 0.0, precond: None };
+        let eq = assert_executor_equivalence(a, &b, &cfg);
+        assert!(eq.device_cycles > 0);
+        assert!(eq.iterations > 0);
     }
 
     #[test]

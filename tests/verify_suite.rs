@@ -18,7 +18,9 @@ use graphene::sparse::gen::{poisson_2d_5pt, rhs_for_ones};
 use graphene::sparse::io::{read_matrix_market, write_matrix_market_with, MmSymmetry};
 use verify::differential::{all_case_names, check_cases, run_two_grid};
 use verify::generators;
-use verify::invariants::{assert_deterministic, audit_exchange_conservation};
+use verify::invariants::{
+    assert_deterministic, assert_executor_equivalence, audit_exchange_conservation,
+};
 
 // ---- differential suite, sharded for test-runner parallelism ----------
 
@@ -88,6 +90,20 @@ fn double_runs_are_bit_identical() {
     ] {
         let rep = assert_deterministic(a.clone(), &b, &cfg);
         assert!(rep.device_cycles > 0);
+    }
+}
+
+/// Every configuration in the verification suite must be bit-identical
+/// (solution tensors) and cycle-identical (device cycles, per-phase and
+/// per-label splits, per-tile busy time) under the sequential and the
+/// tile-parallel host executor.
+#[test]
+fn executors_are_equivalent_across_suite() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    for case in graphene::graphene_core::config::verification_suite() {
+        let eq = assert_executor_equivalence(a.clone(), &b, &case.config);
+        assert!(eq.device_cycles > 0, "[{}] no device cycles recorded", case.name);
     }
 }
 
