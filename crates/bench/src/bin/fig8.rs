@@ -50,15 +50,8 @@ fn main() {
             max_outer: 60,
             rel_tol: tol,
         };
-        let opts = SolveOptions {
-            model: model.clone(),
-            tiles: None,
-            rows_per_tile: 32,
-            record_history: true,
-            partition: None,
-            x0: None,
-            executor: None,
-        };
+        let opts =
+            SolveOptions { model: model.clone(), rows_per_tile: 32, ..SolveOptions::default() };
         let ipu = solve(a.clone(), &b, &cfg, &opts);
         reporter.add_solve(info.name, &ipu);
 

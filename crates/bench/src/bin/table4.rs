@@ -41,14 +41,11 @@ fn main() {
         };
         let opts = SolveOptions {
             model: IpuModel::m2000(),
-            tiles: None,
             // The paper's G3_circuit run puts ~269 rows on each of the
             // 5,888 tiles; keep the same granularity at reduced scale.
             rows_per_tile: 269,
             record_history: false,
-            partition: None,
-            x0: None,
-            executor: None,
+            ..SolveOptions::default()
         };
         let res = solve(a.clone(), &b, &cfg, &opts);
         let label = match precision {

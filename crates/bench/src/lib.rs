@@ -291,15 +291,8 @@ pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32)
         ("mpir_dp", mpir_cfg(ExtendedPrecision::EmulatedF64, inner_iters)),
     ];
 
-    let opts = SolveOptions {
-        model: IpuModel::m2000(),
-        tiles: None,
-        rows_per_tile: 32,
-        record_history: true,
-        partition: None,
-        x0: None,
-        executor: None,
-    };
+    let opts =
+        SolveOptions { model: IpuModel::m2000(), rows_per_tile: 32, ..SolveOptions::default() };
     // "Fig 9" -> "fig9": the GRAPHENE_REPORT file name for this figure.
     let mut reporter = Reporter::from_env(&fig.to_lowercase().replace(' ', ""));
     for (name, cfg) in configs {

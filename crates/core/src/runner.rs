@@ -42,6 +42,15 @@ pub struct SolveOptions {
     /// host wall-clock only — results, `CycleStats` and traces are
     /// bit-identical across executors.
     pub executor: Option<ExecutorKind>,
+    /// Run the graph compiler's optimisation passes (`None`: whatever
+    /// `GRAPHENE_NO_OPT` selects, optimised when unset). Optimisation
+    /// affects host dispatch overhead only — results and `CycleStats` are
+    /// bit-identical either way.
+    pub optimise: Option<bool>,
+    /// Run the legacy tree-walking interpreter instead of the compiled
+    /// plan (`None`: whatever `GRAPHENE_LEGACY_INTERP` selects).
+    /// Differential testing only.
+    pub legacy_interpreter: Option<bool>,
 }
 
 impl Default for SolveOptions {
@@ -54,6 +63,8 @@ impl Default for SolveOptions {
             partition: None,
             x0: None,
             executor: None,
+            optimise: None,
+            legacy_interpreter: None,
         }
     }
 }
@@ -128,11 +139,18 @@ pub fn solve(
     // the rounded f32 output.
     let x_ext = solver.as_any().downcast_mut::<Mpir>().and_then(|m| m.x_ext);
 
-    let mut engine = ctx.build_engine().expect("solver program compiles");
+    let copts = match opts.optimise {
+        None => CompileOptions::from_env(),
+        Some(optimise) => CompileOptions { optimise },
+    };
+    let mut engine = ctx.build_engine_with(copts).expect("solver program compiles");
     if let Some(kind) = opts.executor {
         engine
             .set_executor(kind)
             .unwrap_or_else(|e| panic!("requested {} executor, but: {e}", kind.name()));
+    }
+    if let Some(legacy) = opts.legacy_interpreter {
+        engine.set_legacy_interpreter(legacy);
     }
     // Tracing is opt-in via GRAPHENE_TRACE=<path>: record a timeline
     // alongside the cycle accounting and drop a Chrome trace + a text
@@ -185,6 +203,7 @@ pub fn solve(
     report.host_seconds = host_seconds;
     report.executor = engine.executor().name().to_string();
     report.history = history.clone();
+    report.compile = Some(engine.compile_report().clone());
 
     SolveResult { x, residual, history, iterations, stats, seconds, report }
 }

@@ -25,6 +25,7 @@ use graph::codelet::{Codelet, Expr, ParamDecl, Stmt, Value};
 use graph::compute::{ComputeSet, TensorSlice, Vertex, VertexKind};
 use graph::engine::{Engine, HostCallback, HostView};
 use graph::graph::{CompileError, Graph};
+use graph::passes::CompileOptions;
 use graph::program::{ElemCopy, ExchangeStep, Prog};
 use graph::tensor::{TensorChunk, TensorDef, TensorId};
 use ipu_sim::cost::DType;
@@ -515,13 +516,22 @@ impl DslCtx {
     // ---------------------------------------------------------------
 
     /// Compile the graph + program and construct the engine (registering
-    /// all callbacks) — steps 3 and 4 of the paper's pipeline.
-    pub fn build_engine(mut self) -> Result<Engine, CompileError> {
+    /// all callbacks) — steps 3 and 4 of the paper's pipeline. Compile
+    /// options come from the environment (`GRAPHENE_NO_OPT`); use
+    /// [`DslCtx::build_engine_with`] to pin them explicitly.
+    pub fn build_engine(self) -> Result<Engine, CompileError> {
+        self.build_engine_with(CompileOptions::from_env())
+    }
+
+    /// Like [`DslCtx::build_engine`] with explicit compile options — the
+    /// graph compiler lowers the program to an [`graph::ExecPlan`] and
+    /// (optionally) runs the optimisation pass pipeline over it.
+    pub fn build_engine_with(mut self, options: CompileOptions) -> Result<Engine, CompileError> {
         assert_eq!(self.frames.len(), 1, "unbalanced control-flow stack");
         let steps = self.frames.pop().unwrap();
         let program =
             if steps.len() == 1 { steps.into_iter().next().unwrap() } else { Prog::Seq(steps) };
-        let exec = self.graph.compile(program)?;
+        let exec = self.graph.compile_with(program, options)?;
         let mut engine = Engine::new(exec);
         for (id, cb) in self.callbacks {
             engine.register_callback(id, cb);

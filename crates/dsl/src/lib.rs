@@ -75,6 +75,7 @@ pub mod prelude {
     pub use crate::ctx::DslCtx;
     pub use crate::texpr::{TExpr, TensorRef};
     pub use graph::compute::{TensorSlice, Vertex, VertexKind};
+    pub use graph::passes::CompileOptions;
     pub use graph::tensor::{TensorChunk, TensorDef};
     pub use ipu_sim::cost::DType;
     pub use ipu_sim::model::IpuModel;

@@ -1,22 +1,31 @@
-//! The execution engine — concrete execution of a compiled graph program.
+//! The execution engine — replay of a compiled [`ExecPlan`].
 //!
-//! Walks the program schedule, runs codelets through the cycle-accounting
-//! interpreter, applies exchanges, evaluates control flow against scalar
-//! predicate tensors, and accumulates a [`CycleStats`] profile — the
-//! simulator counterpart of loading a Poplar executable onto the device and
-//! reading the profiler afterwards.
+//! The engine walks the flat plan the graph compiler produced at
+//! `Graph::compile` time: every `Execute` step already carries its
+//! broadcast [`ipu_sim::ExchangeProgram`], sync cost and tile-grouped
+//! vertex spans; every `Exchange`/`Copy` its resolved block copies and
+//! cycles. Nothing is derived on the hot path — the simulator counterpart
+//! of loading a Poplar executable onto the device (where the statically
+//! compiled exchange is the whole point) and reading the profiler
+//! afterwards.
 //!
 //! Cost semantics per step:
 //!
-//! * `Execute` — one BSP superstep: a sync barrier, an automatic exchange
-//!   for operands read from remote tiles (Poplar's compiler-inserted
-//!   pre-compute-set exchange; scalars broadcast this way), then the
+//! * `Execute` — one BSP superstep: a sync barrier, the precomputed
+//!   broadcast exchange for operands read from remote tiles, then the
 //!   per-tile maximum of codelet cycles.
-//! * `Exchange` — a sync plus the fabric cost of the blockwise copies
-//!   ([`ipu_sim::ExchangeProgram`]): broadcast-aware, all-to-all,
-//!   IPU-Link latency when chips are crossed.
+//! * `Exchange` — per phase: a sync plus the fabric cost of the resolved
+//!   blockwise copies (broadcast-aware, all-to-all, IPU-Link latency when
+//!   chips are crossed).
 //! * `Copy` — an on-tile memcpy parallelised over the worker threads.
 //! * `If`/`While` — control-flow decisions synchronise all tiles.
+//!
+//! A legacy tree-walking interpreter is retained behind
+//! `GRAPHENE_LEGACY_INTERP=1` (or [`Engine::set_legacy_interpreter`]) for
+//! differential testing: it re-plans every step through
+//! [`crate::passes`]'s planners on each execution — the per-iteration host
+//! overhead the compiled plan eliminates — and must produce bit-identical
+//! results and cycle profiles.
 //!
 //! # Host executors
 //!
@@ -32,20 +41,21 @@
 //! and traces are bit-identical between them. Select with
 //! `GRAPHENE_PAR=1` (or `Engine::set_executor`).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::collections::{BTreeMap, HashMap};
 
 use ipu_sim::clock::CycleStats;
-use ipu_sim::cost::{DType, Op};
-use ipu_sim::exchange::{BlockCopy, ExchangeProgram};
-use ipu_sim::model::{IpuModel, TileId};
-use profile::TraceRecorder;
+use ipu_sim::cost::DType;
+use ipu_sim::exchange::ExchangeProgram;
+use ipu_sim::model::TileId;
+use profile::{CompileReport, TraceRecorder};
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
 
 use crate::codelet::{Codelet, Interp, ParamData, Value};
 use crate::compute::{TensorSlice, Vertex, VertexKind};
 use crate::graph::{Executable, Graph};
-use crate::program::{ElemCopy, ExchangeStep, Prog};
+use crate::passes;
+use crate::plan::{CopyStep, ExchangePhase, ExecPlan, ExecuteStep, PlanStep, StepId};
+use crate::program::{ElemCopy, Prog};
 use crate::tensor::TensorId;
 
 /// Which host executor runs the vertices of each compute set.
@@ -75,11 +85,15 @@ pub struct EngineOptions {
     /// Worker-thread cap for the parallel executor; `0` means one per
     /// available core.
     pub threads: usize,
+    /// Run the legacy tree-walking interpreter instead of the compiled
+    /// plan (re-plans every step on every execution). Differential
+    /// testing only; `GRAPHENE_LEGACY_INTERP=1`.
+    pub legacy_interpreter: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { executor: ExecutorKind::Sequential, threads: 0 }
+        EngineOptions { executor: ExecutorKind::Sequential, threads: 0, legacy_interpreter: false }
     }
 }
 
@@ -88,21 +102,32 @@ impl EngineOptions {
     /// `false`, `off` or `no` select the sequential executor; `1`,
     /// `true`, `on` or `yes` select the parallel executor with one
     /// worker per core; an integer `N >= 2` caps the workers at `N`.
+    /// `GRAPHENE_LEGACY_INTERP=1` additionally selects the legacy
+    /// tree-walking interpreter.
     pub fn from_env() -> Self {
-        match std::env::var("GRAPHENE_PAR") {
+        let mut o = match std::env::var("GRAPHENE_PAR") {
             Err(_) => EngineOptions::default(),
             Ok(v) => Self::parse_par(&v),
+        };
+        if let Ok(v) = std::env::var("GRAPHENE_LEGACY_INTERP") {
+            o.legacy_interpreter =
+                matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes");
         }
+        o
     }
 
     fn parse_par(v: &str) -> Self {
         match v.trim().to_ascii_lowercase().as_str() {
             "" | "0" | "false" | "off" | "no" => EngineOptions::default(),
             "1" | "true" | "on" | "yes" => {
-                EngineOptions { executor: ExecutorKind::Parallel, threads: 0 }
+                EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() }
             }
             other => match other.parse::<usize>() {
-                Ok(n) if n >= 2 => EngineOptions { executor: ExecutorKind::Parallel, threads: n },
+                Ok(n) if n >= 2 => EngineOptions {
+                    executor: ExecutorKind::Parallel,
+                    threads: n,
+                    ..EngineOptions::default()
+                },
                 _ => EngineOptions::default(),
             },
         }
@@ -205,7 +230,12 @@ pub type HostCallback = Box<dyn FnMut(&mut HostView<'_>)>;
 /// The execution engine for one compiled program.
 pub struct Engine {
     graph: Graph,
+    /// Source program tree — only consulted by the legacy interpreter.
     program: Prog,
+    /// The compiled plan the engine replays.
+    plan: ExecPlan,
+    /// What the compiler's pass pipeline did to produce `plan`.
+    report: CompileReport,
     storage: Vec<Storage>,
     stats: CycleStats,
     callbacks: HashMap<usize, HostCallback>,
@@ -238,6 +268,8 @@ impl Engine {
         Ok(Engine {
             graph: exec.graph,
             program: exec.program,
+            plan: exec.plan,
+            report: exec.report,
             storage,
             stats,
             callbacks: HashMap::new(),
@@ -260,6 +292,29 @@ impl Engine {
     /// The host executor currently selected.
     pub fn executor(&self) -> ExecutorKind {
         self.options.executor
+    }
+
+    /// Switch between the compiled-plan walker (default) and the legacy
+    /// tree-walking interpreter that re-plans every step per execution.
+    /// Differential testing only.
+    pub fn set_legacy_interpreter(&mut self, legacy: bool) {
+        self.options.legacy_interpreter = legacy;
+    }
+
+    /// Whether the legacy interpreter is selected.
+    pub fn legacy_interpreter(&self) -> bool {
+        self.options.legacy_interpreter
+    }
+
+    /// What the compiler's pass pipeline did to produce the plan this
+    /// engine replays.
+    pub fn compile_report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// The compiled plan this engine replays.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     pub fn graph(&self) -> &Graph {
@@ -324,7 +379,18 @@ impl Engine {
     }
 
     /// Execute the program once.
+    ///
+    /// Panics if the program mentions a `Prog::Callback` id with no
+    /// registered callback — silently skipping a host callback (progress
+    /// reporting, data transfer) would corrupt solver state invisibly.
     pub fn run(&mut self) {
+        for id in &self.plan.callback_ids {
+            assert!(
+                self.callbacks.contains_key(id),
+                "program invokes host callback {id}, but no callback with that id was \
+                 registered (Engine::register_callback) before Engine::run"
+            );
+        }
         let opts = EngineOptions { threads: self.options.effective_threads(), ..self.options };
         let mut ctx = ExecCtx {
             graph: &self.graph,
@@ -334,8 +400,12 @@ impl Engine {
             trace: &mut self.trace,
             opts,
         };
-        let program = self.program.clone();
-        ctx.exec(&program);
+        if opts.legacy_interpreter {
+            let program = self.program.clone();
+            ctx.exec(&program);
+        } else {
+            ctx.exec_step(&self.plan, self.plan.root);
+        }
         debug_assert_eq!(
             self.stats.label_depth(),
             0,
@@ -359,13 +429,98 @@ struct ExecCtx<'a> {
 }
 
 impl ExecCtx<'_> {
+    /// Walk the compiled plan — the hot path. Every step is replayed from
+    /// its precomputed data; nothing is derived here.
+    fn exec_step(&mut self, plan: &ExecPlan, id: StepId) {
+        match plan.step(id) {
+            PlanStep::Nop => {}
+            PlanStep::Seq(children) => {
+                children.iter().for_each(|&c| self.exec_step(plan, c));
+            }
+            PlanStep::Execute(es) => self.execute_planned(es),
+            PlanStep::Exchange(phases) => {
+                phases.iter().for_each(|ph| self.exchange_planned(ph));
+            }
+            PlanStep::Copy(cp) => self.copy_planned(cp),
+            PlanStep::Repeat(n, body) => {
+                for _ in 0..*n {
+                    self.exec_step(plan, *body);
+                }
+            }
+            PlanStep::If { pred, then, otherwise, sync_cycles } => {
+                // A control-flow decision synchronises all tiles; both
+                // branches must leave the label stack balanced.
+                let depth = self.stats.label_depth();
+                self.record_sync(*sync_cycles);
+                if self.read_pred(*pred) {
+                    self.exec_step(plan, *then);
+                } else {
+                    self.exec_step(plan, *otherwise);
+                }
+                debug_assert_eq!(
+                    self.stats.label_depth(),
+                    depth,
+                    "If branch left label stack unbalanced"
+                );
+            }
+            PlanStep::While { cond, pred, body, sync_cycles } => {
+                let depth = self.stats.label_depth();
+                loop {
+                    self.exec_step(plan, *cond);
+                    self.record_sync(*sync_cycles);
+                    if !self.read_pred(*pred) {
+                        break;
+                    }
+                    self.exec_step(plan, *body);
+                    debug_assert_eq!(
+                        self.stats.label_depth(),
+                        depth,
+                        "While body left label stack unbalanced"
+                    );
+                }
+            }
+            PlanStep::Label(name, body) => {
+                let depth = self.stats.label_depth();
+                self.stats.push_label(name.clone());
+                if let Some(t) = self.trace.as_mut() {
+                    t.begin_label(name);
+                }
+                self.exec_step(plan, *body);
+                if let Some(t) = self.trace.as_mut() {
+                    t.end_label();
+                }
+                self.stats.pop_label();
+                debug_assert_eq!(
+                    self.stats.label_depth(),
+                    depth,
+                    "Label body left label stack unbalanced"
+                );
+            }
+            PlanStep::Callback(id) => self.invoke_callback(*id),
+        }
+    }
+
+    /// Walk the source tree — the legacy interpreter, retained behind
+    /// `GRAPHENE_LEGACY_INTERP` for differential testing. Each `Execute`
+    /// / `Exchange` / `Copy` is re-planned through `crate::passes` on
+    /// *every* execution (inside solver loops: every iteration), which is
+    /// exactly the host overhead the compiled plan removes.
     fn exec(&mut self, p: &Prog) {
         match p {
             Prog::Nop => {}
             Prog::Seq(steps) => steps.iter().for_each(|s| self.exec(s)),
-            Prog::Execute(cs) => self.execute_compute_set(*cs),
-            Prog::Exchange(ex) => self.exchange(ex),
-            Prog::Copy { src, dst } => self.copy(*src, *dst),
+            Prog::Execute(cs) => {
+                let es = passes::plan_execute(self.graph, *cs);
+                self.execute_planned(&es);
+            }
+            Prog::Exchange(ex) => {
+                let ph = passes::plan_exchange(self.graph, ex);
+                self.exchange_planned(&ph);
+            }
+            Prog::Copy { src, dst } => {
+                let cp = passes::plan_copy(self.graph, *src, *dst);
+                self.copy_planned(&cp);
+            }
             Prog::Repeat(n, body) => {
                 for _ in 0..*n {
                     self.exec(body);
@@ -420,13 +575,15 @@ impl ExecCtx<'_> {
                     "Label body left label stack unbalanced"
                 );
             }
-            Prog::Callback(id) => {
-                if let Some(mut cb) = self.callbacks.remove(id) {
-                    let mut view = HostView { graph: self.graph, storage: self.storage };
-                    cb(&mut view);
-                    self.callbacks.insert(*id, cb);
-                }
-            }
+            Prog::Callback(id) => self.invoke_callback(*id),
+        }
+    }
+
+    fn invoke_callback(&mut self, id: usize) {
+        if let Some(mut cb) = self.callbacks.remove(&id) {
+            let mut view = HostView { graph: self.graph, storage: self.storage };
+            cb(&mut view);
+            self.callbacks.insert(id, cb);
         }
     }
 
@@ -460,71 +617,25 @@ impl ExecCtx<'_> {
         self.stats.record_compute(per_tile);
     }
 
-    fn execute_compute_set(&mut self, id: usize) {
-        let cs = &self.graph.compute_sets[id];
-        let model = &self.graph.model;
-        let cost = &self.graph.cost;
-
-        // Compiler-inserted exchange for operands resident on other tiles
-        // (scalar broadcasts and the like). The fabric moves each source
-        // region to each destination tile once, however many vertices on
-        // that tile read it — so copies are deduplicated on
-        // `(src_key, dst_tile)` before costing. Keys cover
-        // `(tensor, start, len)` of the region actually read, the same
-        // convention `exchange()` uses, so `ExchangeProgram`'s broadcast
-        // detection sees one send per distinct source region.
-        let mut seen: HashSet<(u64, TileId)> = HashSet::new();
-        let mut bcast: Vec<BlockCopy> = Vec::new();
-        for v in &cs.vertices {
-            for op in &v.operands {
-                let t = &self.graph.tensors[op.tensor];
-                let end = op.start + op.len;
-                let mut i = op.start;
-                while i < end {
-                    let chunk = t.chunk_of(i).expect("slice validated at compile time");
-                    let stop = chunk.end().min(end);
-                    if chunk.tile != v.tile {
-                        let src_key = key_of(op.tensor, i, stop - i);
-                        if seen.insert((src_key, v.tile)) {
-                            bcast.push(BlockCopy {
-                                src_tile: chunk.tile,
-                                dst_tile: v.tile,
-                                bytes: (stop - i) * t.dtype.size_bytes(),
-                                src_key,
-                            });
-                        }
-                    }
-                    i = stop;
-                }
-            }
+    /// Replay one precomputed `Execute` step: the compiler-inserted
+    /// broadcast (if any), the BSP barrier, then the vertices — on one
+    /// host thread in program order, or partitioned by tile across scoped
+    /// workers. Both executors emit the per-tile cycle list sorted by
+    /// tile id, so the recorded stats and trace events are identical
+    /// whichever executor ran and whatever the host's thread or
+    /// hash-iteration order was.
+    fn execute_planned(&mut self, es: &ExecuteStep) {
+        let cs = &self.graph.compute_sets[es.cs];
+        if !es.bcast.is_empty() {
+            self.record_exchange(&es.bcast_name, &es.bcast, es.bcast_cycles);
         }
+        self.record_sync(es.sync_cycles);
 
-        // BSP sync before the compute set: every participating tile takes
-        // part in the barrier — including the *source* tiles of the
-        // compiler-inserted broadcast, which may sit on another chip even
-        // when the vertices themselves do not.
-        let tiles = cs.tiles();
-        let participants = tiles.iter().copied().chain(bcast.iter().map(|c| c.src_tile));
-        let sync_cycles = if spans_chips(model, participants) {
-            cost.sync_inter_ipu_cycles
-        } else {
-            cost.sync_on_chip_cycles
-        };
-
-        if !bcast.is_empty() {
-            let ep = ExchangeProgram::new(bcast);
-            let cycles = ep.cycles(model, cost);
-            self.record_exchange(&format!("bcast:{}", cs.name), &ep, cycles);
-        }
-        self.record_sync(sync_cycles);
-
-        // Run the vertices, accumulating per-tile cycles. Both executors
-        // emit the per-tile list sorted by tile id, so the recorded stats
-        // and trace events are identical whichever executor ran and
-        // whatever the host's thread or hash-iteration order was.
         let bases = TensorBases::new(self.storage);
         let per_tile: Vec<(TileId, u64)> = match self.opts.executor {
             ExecutorKind::Sequential => {
+                // Program order, not tile order: hazardous programs
+                // accepted sequentially are order-dependent.
                 let mut acc: BTreeMap<TileId, u64> = BTreeMap::new();
                 for v in &cs.vertices {
                     let cycles = run_vertex(self.graph, &bases, v);
@@ -533,97 +644,47 @@ impl ExecCtx<'_> {
                 acc.into_iter().collect()
             }
             ExecutorKind::Parallel => {
-                // Group by tile, preserving each tile's vertex order (a
-                // tile's vertices may have read-after-write dependencies
+                // The plan's tile groups preserve each tile's vertex order
+                // (a tile's vertices may have read-after-write dependencies
                 // among themselves; cross-tile dependencies were rejected
                 // by `parallel_hazards`). `par_chunks_map` hands each
                 // worker an owned, contiguous span of tile groups and
                 // reassembles results positionally, so the merge order is
                 // tile-ascending by construction.
-                let mut groups: BTreeMap<TileId, Vec<&Vertex>> = BTreeMap::new();
-                for v in &cs.vertices {
-                    groups.entry(v.tile).or_default().push(v);
-                }
-                let work: Vec<(TileId, Vec<&Vertex>)> = groups.into_iter().collect();
                 let graph = self.graph;
                 let bases = &bases;
-                rayon::par_chunks_map(work, self.opts.threads, move |(tile, vs)| {
-                    (tile, vs.iter().map(|v| run_vertex(graph, bases, v)).sum::<u64>())
+                let work: Vec<(TileId, &[usize])> =
+                    es.tile_groups.iter().map(|(t, ids)| (*t, ids.as_slice())).collect();
+                rayon::par_chunks_map(work, self.opts.threads, move |(tile, ids)| {
+                    (
+                        tile,
+                        ids.iter().map(|&i| run_vertex(graph, bases, &cs.vertices[i])).sum::<u64>(),
+                    )
                 })
             }
         };
-        self.record_compute(&cs.name.clone(), per_tile);
+        self.record_compute(&es.name, per_tile);
     }
 
-    fn exchange(&mut self, ex: &ExchangeStep) {
-        let model = &self.graph.model;
-        let cost = &self.graph.cost;
-        // Cost first (reads tensor defs only).
-        let copies: Vec<BlockCopy> = ex
-            .copies
-            .iter()
-            .map(|c| {
-                let s = &self.graph.tensors[c.src];
-                let d = &self.graph.tensors[c.dst];
-                BlockCopy {
-                    src_tile: s.tile_of(c.src_start).expect("validated"),
-                    dst_tile: d.tile_of(c.dst_start).expect("validated"),
-                    bytes: c.len * s.dtype.size_bytes(),
-                    src_key: key_of(c.src, c.src_start, c.len),
-                }
-            })
-            .collect();
-        // The barrier before an exchange spans every participating tile;
-        // a copy that crosses chips needs the inter-IPU sync, exactly as
-        // `execute_compute_set` charges it for its compute sets.
-        let participants = copies.iter().flat_map(|c| [c.src_tile, c.dst_tile]);
-        let sync_cycles = if spans_chips(model, participants) {
-            cost.sync_inter_ipu_cycles
-        } else {
-            cost.sync_on_chip_cycles
-        };
-        self.record_sync(sync_cycles);
-        let ep = ExchangeProgram::new(copies);
-        let cycles = ep.cycles(model, cost);
-        self.record_exchange(&ex.name, &ep, cycles);
-        // Then the data movement.
-        for c in &ex.copies {
+    /// Replay one precomputed exchange phase: barrier, fabric cost, then
+    /// the element copies against host storage.
+    fn exchange_planned(&mut self, ph: &ExchangePhase) {
+        self.record_sync(ph.sync_cycles);
+        self.record_exchange(&ph.name, &ph.program, ph.cycles);
+        for c in &ph.copies {
             apply_copy(self.storage, c);
         }
     }
 
-    fn copy(&mut self, src: TensorId, dst: TensorId) {
-        let def = &self.graph.tensors[src];
-        let cost = &self.graph.cost;
-        let workers = self.graph.model.workers_per_tile as u64;
-        let move_cost = cost.op_cycles(Op::Load, def.dtype) + cost.op_cycles(Op::Store, def.dtype);
-        let per_tile: Vec<(TileId, u64)> = def
-            .chunks
-            .iter()
-            .map(|c| {
-                (c.tile, cost.worker_spawn_cycles + (c.total as u64 * move_cost).div_ceil(workers))
-            })
-            .collect();
-        self.record_compute(&format!("copy:{}", def.name), per_tile);
-        if src != dst {
-            let (a, b) = index_two(self.storage, src, dst);
+    /// Replay one precomputed whole-tensor copy: worker-parallel memcpy
+    /// cycles per tile, then the data movement (self-copies cost the same
+    /// but move nothing).
+    fn copy_planned(&mut self, cp: &CopyStep) {
+        self.record_compute(&cp.name, cp.per_tile.clone());
+        if cp.src != cp.dst {
+            let (a, b) = index_two(self.storage, cp.src, cp.dst);
             copy_all(a, b);
         }
-    }
-}
-
-fn key_of(tensor: TensorId, start: usize, len: usize) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    (tensor, start, len).hash(&mut h);
-    h.finish()
-}
-
-/// Does the tile set span more than one chip?
-fn spans_chips(model: &IpuModel, tiles: impl IntoIterator<Item = TileId>) -> bool {
-    let mut it = tiles.into_iter();
-    match it.next() {
-        None => false,
-        Some(first) => it.any(|t| !model.same_chip(first, t)),
     }
 }
 
@@ -884,6 +945,7 @@ mod tests {
     use super::*;
     use crate::codelet::{BinOp, Codelet, Expr, ParamDecl, Stmt};
     use crate::compute::{ComputeSet, Vertex};
+    use crate::program::ExchangeStep;
     use crate::tensor::TensorDef;
     use ipu_sim::clock::Phase;
     use ipu_sim::model::IpuModel;
@@ -944,7 +1006,7 @@ mod tests {
     fn repeat_multiplies_work() {
         let (exec, x) = double_in_place();
         let prog = Prog::Repeat(3, Box::new(exec.program.clone()));
-        let exec3 = Executable { graph: exec.graph.clone(), program: prog };
+        let exec3 = exec.graph.clone().compile(prog).unwrap();
         let mut e = Engine::new(exec3);
         e.write_tensor(x, &[1.0; 8]);
         e.run();
@@ -1111,7 +1173,7 @@ mod tests {
     fn labels_attribute_cycles() {
         let (exec, _) = double_in_place();
         let prog = Prog::Label("phase_a".into(), Box::new(exec.program.clone()));
-        let mut e = Engine::new(Executable { graph: exec.graph.clone(), program: prog });
+        let mut e = Engine::new(exec.graph.clone().compile(prog).unwrap());
         e.run();
         assert_eq!(e.stats().label_cycles("phase_a"), e.stats().device_cycles());
     }
@@ -1131,6 +1193,47 @@ mod tests {
         e.write_tensor(x, &[10.0, 10.0]);
         e.run();
         assert_eq!(e.read_tensor(x), vec![11.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no callback with that id was registered")]
+    fn unregistered_callback_rejected_at_run_entry() {
+        let g = Graph::new(IpuModel::tiny(1));
+        let mut e = Engine::new(g.compile(Prog::Callback(7)).unwrap());
+        e.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no callback with that id was registered")]
+    fn callback_in_unreachable_branch_still_requires_registration() {
+        // Even a callback the traversal can never reach (Repeat(0)) must
+        // be registered — the check covers the whole source tree, so a
+        // missing registration fails loudly instead of surfacing only on
+        // the execution path that happens to hit it.
+        let g = Graph::new(IpuModel::tiny(1));
+        let prog = Prog::Repeat(0, Box::new(Prog::Callback(3)));
+        let mut e = Engine::new(g.compile(prog).unwrap());
+        e.run();
+    }
+
+    #[test]
+    fn legacy_interpreter_matches_compiled_plan() {
+        let (exec, x) = double_in_place();
+        let mut plan_e = Engine::new(exec.graph.clone().compile(exec.program.clone()).unwrap());
+        let mut legacy_e = Engine::new(exec);
+        legacy_e.set_legacy_interpreter(true);
+        assert!(legacy_e.legacy_interpreter());
+        let input = [1.0, -2.0, 3.5, 4.0, 0.25, -6.0, 7.0, 8.0];
+        plan_e.write_tensor(x, &input);
+        legacy_e.write_tensor(x, &input);
+        plan_e.run();
+        legacy_e.run();
+        let bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<_>>();
+        assert_eq!(bits(plan_e.read_tensor(x)), bits(legacy_e.read_tensor(x)));
+        assert_eq!(plan_e.stats().device_cycles(), legacy_e.stats().device_cycles());
+        assert_eq!(plan_e.stats().supersteps(), legacy_e.stats().supersteps());
+        assert_eq!(plan_e.stats().sync_count(), legacy_e.stats().sync_count());
+        assert_eq!(plan_e.stats().exchange_bytes(), legacy_e.stats().exchange_bytes());
     }
 
     #[test]
@@ -1506,13 +1609,13 @@ mod tests {
         for threads in [0usize, 2, 3, 16] {
             let (exec, x) = double_in_place();
             let mut seq = Engine::with_options(
-                Executable { graph: exec.graph.clone(), program: exec.program.clone() },
+                exec.graph.clone().compile(exec.program.clone()).unwrap(),
                 EngineOptions::default(),
             )
             .unwrap();
             let mut par = Engine::with_options(
                 exec,
-                EngineOptions { executor: ExecutorKind::Parallel, threads },
+                EngineOptions { executor: ExecutorKind::Parallel, threads, ..Default::default() },
             )
             .unwrap();
             let input = [1.5, -2.0, 3.25, 4.0, 5.5, -6.0, 7.75, 8.0];
@@ -1557,8 +1660,8 @@ mod tests {
         let exec = g.compile(Prog::Execute(cs)).unwrap();
         assert!(parallel_hazards(&exec.graph).is_err());
         let err = Engine::with_options(
-            Executable { graph: exec.graph.clone(), program: exec.program.clone() },
-            EngineOptions { executor: ExecutorKind::Parallel, threads: 0 },
+            exec.graph.clone().compile(exec.program.clone()).unwrap(),
+            EngineOptions { executor: ExecutorKind::Parallel, threads: 0, ..Default::default() },
         )
         .err()
         .expect("hazardous program must be rejected");
@@ -1599,7 +1702,7 @@ mod tests {
         assert!(parallel_hazards(&exec.graph).is_ok());
         let mut e = Engine::with_options(
             exec,
-            EngineOptions { executor: ExecutorKind::Parallel, threads: 4 },
+            EngineOptions { executor: ExecutorKind::Parallel, threads: 4, ..Default::default() },
         )
         .unwrap();
         e.write_tensor(x, &[2.0, 0.0, 0.0, 0.0]);

@@ -10,11 +10,14 @@
 
 use crate::codelet::{Codelet, CodeletId};
 use crate::compute::{ComputeSet, ComputeSetId, VertexKind};
+use crate::passes::{self, CompileOptions};
+use crate::plan::ExecPlan;
 use crate::program::{ExchangeStep, Prog};
 use crate::tensor::{TensorDef, TensorId};
 use ipu_sim::cost::{CostModel, DType};
 use ipu_sim::memory::TileMemory;
 use ipu_sim::model::IpuModel;
+use profile::CompileReport;
 
 /// Errors raised while building or compiling a graph.
 #[derive(Debug)]
@@ -294,18 +297,45 @@ impl Graph {
         Ok(())
     }
 
-    /// Validate the program against the graph and freeze an executable.
+    /// Validate the program, lower it to an [`ExecPlan`] through the pass
+    /// pipeline selected by `GRAPHENE_NO_OPT` (optimising by default),
+    /// and freeze an executable.
     pub fn compile(self, program: Prog) -> Result<Executable, CompileError> {
+        self.compile_with(program, CompileOptions::from_env())
+    }
+
+    /// Like [`Graph::compile`] with explicit compile options.
+    ///
+    /// This is the graph *compiler*: validation, lowering of the `Prog`
+    /// tree into the flat [`ExecPlan`] arena, and the optimisation pass
+    /// pipeline (`crate::passes`) that precomputes every broadcast,
+    /// exchange program, sync decision and tile grouping the engine will
+    /// replay. The per-pass statistics are stamped on the executable as a
+    /// [`CompileReport`].
+    pub fn compile_with(
+        self,
+        program: Prog,
+        options: CompileOptions,
+    ) -> Result<Executable, CompileError> {
         self.validate_prog(&program)?;
-        Ok(Executable { graph: self, program })
+        let (plan, report) = passes::compile_plan(&self, &program, options);
+        Ok(Executable { graph: self, program, plan, report })
     }
 }
 
-/// A validated (graph, program) pair ready for the engine.
+/// A compiled (graph, program) pair ready for the engine: the validated
+/// source program, its lowered [`ExecPlan`], and the [`CompileReport`]
+/// describing what the pass pipeline did.
 #[derive(Clone, Debug)]
 pub struct Executable {
     pub graph: Graph,
+    /// The validated source tree — retained for the legacy tree-walking
+    /// interpreter (`GRAPHENE_LEGACY_INTERP`, differential testing only).
     pub program: Prog,
+    /// The lowered, pass-optimised plan the engine executes.
+    pub plan: ExecPlan,
+    /// Per-pass compile statistics.
+    pub report: CompileReport,
 }
 
 #[cfg(test)]
@@ -431,6 +461,32 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.to_string().contains("scalar"));
+    }
+
+    #[test]
+    fn predicate_tensor_must_exist() {
+        let g = tiny_graph();
+        let err = g
+            .compile(Prog::If {
+                pred: 42,
+                then: Box::new(Prog::Nop),
+                otherwise: Box::new(Prog::Nop),
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("predicate tensor 42 missing"), "{err}");
+    }
+
+    #[test]
+    fn while_predicate_validated_even_in_nested_position() {
+        // The While sits inside Repeat/Label scaffolding; validation must
+        // still reach its predicate.
+        let mut g = tiny_graph();
+        let p = g.add_tensor(TensorDef::on_tile("p", DType::F32, 3, 0)).unwrap();
+        let w = Prog::While { cond: Box::new(Prog::Nop), pred: p, body: Box::new(Prog::Nop) };
+        let err = g
+            .compile(Prog::Repeat(2, Box::new(Prog::Label("outer".into(), Box::new(w)))))
+            .unwrap_err();
+        assert!(err.to_string().contains("scalar"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub mod codelet;
 pub mod compute;
 pub mod engine;
 pub mod graph;
+pub mod passes;
+pub mod plan;
 pub mod program;
 pub mod tensor;
 
@@ -34,5 +36,7 @@ pub use codelet::{
 pub use compute::{ComputeSet, ComputeSetId, Vertex, VertexKind};
 pub use engine::{parallel_hazards, Engine, EngineOptions, ExecutorKind};
 pub use graph::{CompileError, Executable, Graph};
+pub use passes::CompileOptions;
+pub use plan::{ExecPlan, PlanStep, StepId};
 pub use program::{ExchangeStep, Prog};
 pub use tensor::{TensorChunk, TensorDef, TensorId};

@@ -121,4 +121,42 @@ mod tests {
         };
         assert_eq!(p.num_steps(), 3);
     }
+
+    #[test]
+    fn then_flattens_trailing_seq_into_leading_step() {
+        // (leaf).then(Seq) splices in front, not as a nested Seq.
+        let p = Prog::Execute(0).then(Prog::Seq(vec![Prog::Execute(1), Prog::Execute(2)]));
+        assert_eq!(p, Prog::Seq(vec![Prog::Execute(0), Prog::Execute(1), Prog::Execute(2)]),);
+        assert_eq!(p.num_steps(), 3);
+    }
+
+    #[test]
+    fn num_steps_sees_through_nested_scaffolding() {
+        // Repeat and Label are transparent; Seq sums; Nop is free —
+        // however deeply they nest.
+        let inner = Prog::Seq(vec![
+            Prog::Nop,
+            Prog::Label(
+                "a".into(),
+                Box::new(Prog::Repeat(
+                    7,
+                    Box::new(Prog::Seq(vec![
+                        Prog::Execute(0),
+                        Prog::Copy { src: 0, dst: 1 },
+                        Prog::Nop,
+                    ])),
+                )),
+            ),
+            Prog::Callback(0),
+        ]);
+        let p = Prog::Repeat(3, Box::new(Prog::Label("outer".into(), Box::new(inner))));
+        // Execute + Copy + Callback, independent of trip counts and labels.
+        assert_eq!(p.num_steps(), 3);
+
+        // Control-flow decisions count themselves plus both branches.
+        let iff = Prog::If { pred: 0, then: Box::new(p.clone()), otherwise: Box::new(Prog::Nop) };
+        assert_eq!(iff.num_steps(), 4);
+        let wl = Prog::While { cond: Box::new(Prog::Execute(1)), pred: 0, body: Box::new(iff) };
+        assert_eq!(wl.num_steps(), 6);
+    }
 }

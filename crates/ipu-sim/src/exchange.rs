@@ -20,17 +20,41 @@
 use crate::cost::CostModel;
 use crate::model::{IpuModel, TileId};
 
+/// Identity of a contiguous source region: the tensor it lives in and the
+/// element span within that tensor.
+///
+/// This is the *real* identity tuple, not a hash. An earlier revision keyed
+/// regions on a 64-bit `DefaultHasher` digest, which made broadcast
+/// deduplication (and therefore exchange cycle costs) silently wrong on a
+/// hash collision between two distinct regions. Keying on the tuple makes
+/// collisions impossible by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionKey {
+    /// Raw tensor id (the graph layer's `TensorId.0`).
+    pub tensor: usize,
+    /// First element of the region within the tensor.
+    pub start: usize,
+    /// Region length in elements.
+    pub len: usize,
+}
+
+impl RegionKey {
+    pub fn new(tensor: usize, start: usize, len: usize) -> Self {
+        RegionKey { tensor, start, len }
+    }
+}
+
 /// One blockwise copy of a contiguous region between two tiles.
 ///
-/// `src_key` identifies the source region (tensor id + offset, hashed by the
-/// caller); copies sharing a `src_key` within one phase form a broadcast and
-/// charge the sender only once.
+/// `src_region` identifies the source region by its `(tensor, start, len)`
+/// tuple; copies sharing a `src_region` within one phase form a broadcast
+/// and charge the sender only once.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockCopy {
     pub src_tile: TileId,
     pub dst_tile: TileId,
     pub bytes: usize,
-    pub src_key: u64,
+    pub src_region: RegionKey,
 }
 
 /// An exchange phase: all copies that run between two compute supersteps.
@@ -57,7 +81,7 @@ impl ExchangeProgram {
     /// instructions the compiler must issue — what the paper's reordering
     /// minimises).
     pub fn num_regions(&self) -> usize {
-        let mut keys: Vec<u64> = self.copies.iter().map(|c| c.src_key).collect();
+        let mut keys: Vec<RegionKey> = self.copies.iter().map(|c| c.src_region).collect();
         keys.sort_unstable();
         keys.dedup();
         keys.len()
@@ -82,7 +106,7 @@ impl ExchangeProgram {
         // slowest link serving the region — the fabric streams the region
         // once at the rate of the slowest consumer path, not at the rate of
         // whichever copy happens to be listed first.
-        let mut send_cost: std::collections::HashMap<(TileId, u64), u64> =
+        let mut send_cost: std::collections::HashMap<(TileId, RegionKey), u64> =
             std::collections::HashMap::with_capacity(self.copies.len());
         for c in &self.copies {
             let on_chip = model.same_chip(c.src_tile, c.dst_tile);
@@ -95,7 +119,7 @@ impl ExchangeProgram {
             // Receiver always pays.
             per_tile[c.dst_tile] += cost;
             // Sender pays once per region (broadcast), at the max link cost.
-            let e = send_cost.entry((c.src_tile, c.src_key)).or_insert(0);
+            let e = send_cost.entry((c.src_tile, c.src_region)).or_insert(0);
             *e = (*e).max(cost);
         }
         for ((src, _), cost) in send_cost {
@@ -114,6 +138,11 @@ mod tests {
         IpuModel { num_ipus: 2, tiles_per_ipu: 4, ..IpuModel::mk2() }
     }
 
+    /// Shorthand: a distinct region per tensor id (span irrelevant here).
+    fn k(tensor: usize) -> RegionKey {
+        RegionKey::new(tensor, 0, 100)
+    }
+
     #[test]
     fn empty_phase_is_free() {
         let p = ExchangeProgram::default();
@@ -126,21 +155,58 @@ mod tests {
         let m = model();
         // Tile 0 sends the same 400-byte region to tiles 1, 2, 3.
         let bcast = ExchangeProgram::new(vec![
-            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 7 },
-            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 7 },
-            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_key: 7 },
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: k(7) },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: k(7) },
+            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_region: k(7) },
         ]);
         // Distinct regions to the same destinations: sender pays 3x.
         let uni = ExchangeProgram::new(vec![
-            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 1 },
-            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 2 },
-            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_key: 3 },
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: k(1) },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: k(2) },
+            BlockCopy { src_tile: 0, dst_tile: 3, bytes: 400, src_region: k(3) },
         ]);
         let region = cm.on_chip_region_cycles(400);
         assert_eq!(bcast.cycles(&m, &cm), region); // sender once, receivers once each, max = region
         assert_eq!(uni.cycles(&m, &cm), 3 * region); // sender is the bottleneck
         assert_eq!(bcast.num_regions(), 1);
         assert_eq!(uni.num_regions(), 3);
+    }
+
+    #[test]
+    fn distinct_regions_never_merge() {
+        // Regression for the hash-keyed dedup: two *different* regions must
+        // never be treated as one broadcast, regardless of how close their
+        // identities are. With the old `DefaultHasher`-derived `u64` key a
+        // collision would silently merge them and undercharge the sender;
+        // with the `(tensor, start, len)` tuple this cannot happen.
+        let cm = CostModel::default();
+        let m = model();
+        let region = cm.on_chip_region_cycles(400);
+
+        // Same tensor, adjacent starts: distinct regions.
+        let same_tensor = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: RegionKey::new(5, 0, 1) },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: RegionKey::new(5, 1, 1) },
+        ]);
+        assert_eq!(same_tensor.num_regions(), 2);
+        // Sender pays for both regions — it is the bottleneck tile.
+        assert_eq!(same_tensor.cycles(&m, &cm), 2 * region);
+
+        // Different tensors, identical span: distinct regions.
+        let diff_tensor = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: RegionKey::new(1, 0, 1) },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: RegionKey::new(2, 0, 1) },
+        ]);
+        assert_eq!(diff_tensor.num_regions(), 2);
+        assert_eq!(diff_tensor.cycles(&m, &cm), 2 * region);
+
+        // And the true-broadcast case still merges: identical tuples.
+        let bcast = ExchangeProgram::new(vec![
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: RegionKey::new(5, 0, 1) },
+            BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: RegionKey::new(5, 0, 1) },
+        ]);
+        assert_eq!(bcast.num_regions(), 1);
+        assert_eq!(bcast.cycles(&m, &cm), region);
     }
 
     #[test]
@@ -154,9 +220,9 @@ mod tests {
         // Region A (key 7): tile 0 -> tile 1 (on-chip) and tile 0 -> tile 4
         // (cross-chip). Region B (key 9): tile 0 -> tile 2 (on-chip), which
         // makes the *sender* the bottleneck tile.
-        let a_on = BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_key: 7 };
-        let a_cross = BlockCopy { src_tile: 0, dst_tile: 4, bytes: 400, src_key: 7 };
-        let b_on = BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_key: 9 };
+        let a_on = BlockCopy { src_tile: 0, dst_tile: 1, bytes: 400, src_region: k(7) };
+        let a_cross = BlockCopy { src_tile: 0, dst_tile: 4, bytes: 400, src_region: k(7) };
+        let b_on = BlockCopy { src_tile: 0, dst_tile: 2, bytes: 400, src_region: k(9) };
         let on_first = ExchangeProgram::new(vec![a_on, a_cross, b_on]);
         let cross_first = ExchangeProgram::new(vec![a_cross, a_on, b_on]);
         // Sender pays region A at the IPU-Link rate (its worst consumer)
@@ -179,11 +245,11 @@ mod tests {
             src_tile: 0,
             dst_tile: 1,
             bytes: 256,
-            src_key: 1,
+            src_region: k(1),
         }]);
         let four = ExchangeProgram::new(vec![
-            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 256, src_key: 1 },
-            BlockCopy { src_tile: 2, dst_tile: 3, bytes: 256, src_key: 2 },
+            BlockCopy { src_tile: 0, dst_tile: 1, bytes: 256, src_region: k(1) },
+            BlockCopy { src_tile: 2, dst_tile: 3, bytes: 256, src_region: k(2) },
         ]);
         assert_eq!(two.cycles(&m, &cm), four.cycles(&m, &cm));
     }
@@ -196,14 +262,14 @@ mod tests {
             src_tile: 0,
             dst_tile: 3,
             bytes: 1024,
-            src_key: 1,
+            src_region: k(1),
         }]);
         // Tile 4 is on the second chip.
         let cross = ExchangeProgram::new(vec![BlockCopy {
             src_tile: 0,
             dst_tile: 4,
             bytes: 1024,
-            src_key: 1,
+            src_region: k(1),
         }]);
         assert!(cross.cycles(&m, &cm) > on_chip.cycles(&m, &cm) + cm.ipu_link_latency_cycles / 2);
     }
@@ -218,11 +284,11 @@ mod tests {
             src_tile: 0,
             dst_tile: 1,
             bytes: 4000,
-            src_key: 0,
+            src_region: k(0),
         }]);
         let many = ExchangeProgram::new(
             (0..100)
-                .map(|i| BlockCopy { src_tile: 0, dst_tile: 1, bytes: 40, src_key: i })
+                .map(|i| BlockCopy { src_tile: 0, dst_tile: 1, bytes: 40, src_region: k(i) })
                 .collect(),
         );
         assert!(one.cycles(&m, &cm) < many.cycles(&m, &cm));

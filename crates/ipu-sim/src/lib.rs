@@ -37,6 +37,6 @@ pub mod threading;
 
 pub use clock::{CycleStats, Phase};
 pub use cost::{CostModel, DType, Op};
-pub use exchange::{BlockCopy, ExchangeProgram};
+pub use exchange::{BlockCopy, ExchangeProgram, RegionKey};
 pub use memory::TileMemory;
 pub use model::{IpuModel, TileId, WorkerId};

@@ -23,10 +23,12 @@
 //! `GRAPHENE_TRACE` / `GRAPHENE_REPORT` environment variables (see
 //! [`trace_path_from_env`] / [`report_dir_from_env`]).
 
+mod compile_report;
 mod report;
 mod solve_report;
 mod trace;
 
+pub use compile_report::{CompileReport, PassStat};
 pub use report::text_report;
 pub use solve_report::{CycleBreakdown, LabelEntry, SolveReport, TileUtil, UNLABELLED};
 pub use trace::{ExchangeRecord, Lane, TraceEvent, TraceRecorder};

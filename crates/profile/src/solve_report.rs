@@ -36,6 +36,7 @@
 //! Invariant (tested): `Σ labels[].total == cycles.device` — the
 //! `<unlabelled>` entry absorbs cycles recorded outside any label scope.
 
+use crate::compile_report::CompileReport;
 use ipu_sim::clock::{CycleStats, Phase};
 use json::Json;
 
@@ -106,6 +107,10 @@ pub struct SolveReport {
     pub cycles: CycleBreakdown,
     pub labels: Vec<LabelEntry>,
     pub tile_util: TileUtil,
+    /// How the executed plan was compiled (pass pipeline statistics);
+    /// `None` for reports written before the graph compiler existed or
+    /// when the engine did not expose one.
+    pub compile: Option<CompileReport>,
     /// Free-form extra fields, serialised under `"extra"`.
     pub extra: Vec<(String, Json)>,
 }
@@ -128,6 +133,7 @@ impl SolveReport {
             cycles: CycleBreakdown::default(),
             labels: Vec::new(),
             tile_util: TileUtil::default(),
+            compile: None,
             extra: Vec::new(),
         }
     }
@@ -245,6 +251,9 @@ impl SolveReport {
                 ]),
             ),
         ];
+        if let Some(compile) = &self.compile {
+            pairs.push(("compile".to_string(), compile.to_value()));
+        }
         if !self.extra.is_empty() {
             pairs.push(("extra".to_string(), Json::Obj(self.extra.clone())));
         }
@@ -353,6 +362,8 @@ impl SolveReport {
                 mean: f64_of(tiles_s, "mean")?,
                 balance: f64_of(tiles_s, "balance")?,
             },
+            // Absent in reports written before the graph compiler existed.
+            compile: v.get("compile").map(CompileReport::from_value).transpose()?,
             extra: v.get("extra").and_then(Json::as_obj).map(|o| o.to_vec()).unwrap_or_default(),
         })
     }
@@ -457,9 +468,25 @@ mod tests {
         r.seconds = 0.001953125;
         r.history = vec![(1, 0.5), (2, 0.125)];
         r.extra.push(("ipus".to_string(), Json::from(2u64)));
+        let mut pass = crate::PassStat::new("cleanup", 9);
+        pass.steps_after = 7;
+        pass.count("nops_removed", 2);
+        r.compile = Some(crate::CompileReport {
+            optimised: true,
+            source_steps: 11,
+            plan_steps: 7,
+            passes: vec![pass],
+        });
         let text = r.to_json();
         let back = SolveReport::from_json(&text).unwrap();
         assert_eq!(back, r);
+        // Reports written before the compiler existed parse with None.
+        let mut legacy = r.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "compile");
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.compile, None);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   adversarial operands and asserts the Joldes et al. error bounds and
 //!   the normalisation invariant;
 //! * [`invariants`] — simulator-level checks: double-run bit determinism,
-//!   label-stack balance and exchange-byte conservation.
+//!   label-stack balance and exchange-byte conservation;
+//! * [`plan_equiv`] — graph-compiler checks: the optimised plan, the
+//!   unoptimised plan and the legacy tree-walking interpreter must
+//!   produce bit-identical solutions and cycle-identical profiles.
 //!
 //! The heavyweight sweeps scale with the `GRAPHENE_VERIFY_CASES`
 //! environment variable (see [`cases_from_env`]) so CI can turn the dial
@@ -29,6 +32,7 @@ pub mod differential;
 pub mod generators;
 pub mod invariants;
 pub mod oracle;
+pub mod plan_equiv;
 pub mod ulp_audit;
 
 /// Number of randomised cases a sweep should run.

@@ -1,0 +1,170 @@
+//! Plan-equivalence invariants for the graph compiler.
+//!
+//! `Graph::compile` lowers the program tree to an [`graph::ExecPlan`] and
+//! (unless `GRAPHENE_NO_OPT` is set) runs the optimisation pass pipeline
+//! over it. Every pass must be *observationally cycle-neutral*: it may
+//! remove host dispatch overhead, never simulated device work. The
+//! contract, checked here across three execution modes of the same solve:
+//!
+//! 1. the optimised plan (the default),
+//! 2. the unoptimised plan (`GRAPHENE_NO_OPT=1`),
+//! 3. the legacy tree-walking interpreter
+//!    (`GRAPHENE_LEGACY_INTERP=1`), which re-plans every step on every
+//!    execution,
+//!
+//! must produce **bit-identical solutions** and **cycle-identical
+//! profiles**: device cycles, per-phase splits, per-label partitions,
+//! per-tile busy time, superstep and sync counts, exchanged bytes, the
+//! recorded residual history, and the modelled device seconds. Any drift
+//! means an optimisation pass changed device semantics instead of host
+//! bookkeeping — precisely the bug class this harness exists to catch.
+
+use std::rc::Rc;
+
+use dsl::prelude::*;
+use graphene_core::config::SolverConfig;
+use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use ipu_sim::clock::Phase;
+use profile::CompileReport;
+use sparse::formats::CsrMatrix;
+
+fn sim_opts() -> SolveOptions {
+    SolveOptions {
+        model: IpuModel::tiny(4),
+        tiles: Some(4),
+        record_history: true,
+        ..SolveOptions::default()
+    }
+}
+
+/// What the three-way plan equivalence check compared.
+#[derive(Clone, Debug)]
+pub struct PlanEquivalence {
+    pub device_cycles: u64,
+    pub iterations: usize,
+    /// Dispatch steps in the optimised plan.
+    pub optimised_steps: usize,
+    /// Dispatch steps in the unoptimised plan.
+    pub unoptimised_steps: usize,
+}
+
+fn fingerprint(r: &SolveResult) -> (Vec<u64>, u64, u64, u64, u64, Vec<(String, [u64; 3])>) {
+    (
+        r.x.iter().map(|v| v.to_bits()).collect(),
+        r.stats.device_cycles(),
+        r.stats.exchange_bytes(),
+        r.stats.supersteps(),
+        r.stats.sync_count(),
+        r.stats.labels_by_phase_sorted(),
+    )
+}
+
+fn assert_same(mode: &str, base: &SolveResult, other: &SolveResult) {
+    let (xb, dcb, xbb, ssb, scb, lbb) = fingerprint(base);
+    let (xo, dco, xbo, sso, sco, lbo) = fingerprint(other);
+    assert_eq!(xb, xo, "solution bits differ ({mode})");
+    assert_eq!(dcb, dco, "device cycles differ ({mode})");
+    assert_eq!(xbb, xbo, "exchanged bytes differ ({mode})");
+    assert_eq!(ssb, sso, "superstep counts differ ({mode})");
+    assert_eq!(scb, sco, "sync counts differ ({mode})");
+    assert_eq!(lbb, lbo, "per-label cycle partitions differ ({mode})");
+    for phase in [Phase::Compute, Phase::Exchange, Phase::Sync] {
+        assert_eq!(
+            base.stats.phase_cycles(phase),
+            other.stats.phase_cycles(phase),
+            "{phase:?} cycles differ ({mode})"
+        );
+        assert_eq!(
+            base.stats.unlabelled_phase_cycles(phase),
+            other.stats.unlabelled_phase_cycles(phase),
+            "unlabelled {phase:?} cycles differ ({mode})"
+        );
+    }
+    assert_eq!(
+        base.stats.tile_busy_all(),
+        other.stats.tile_busy_all(),
+        "per-tile busy cycles differ ({mode})"
+    );
+    assert_eq!(base.iterations, other.iterations, "iteration counts differ ({mode})");
+    let hb: Vec<(usize, u64)> = base.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    let ho: Vec<(usize, u64)> = other.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    assert_eq!(hb, ho, "residual histories differ ({mode})");
+    assert_eq!(base.report.seconds, other.report.seconds, "device seconds differ ({mode})");
+}
+
+fn compile_report(r: &SolveResult) -> &CompileReport {
+    r.report.compile.as_ref().expect("runner stamps the compile report")
+}
+
+/// Run the same solve through the optimised plan, the unoptimised plan
+/// and the legacy tree-walking interpreter, and require bit-identical
+/// solutions and cycle-identical profiles across all three.
+pub fn assert_plan_equivalence(
+    a: Rc<CsrMatrix>,
+    b: &[f64],
+    config: &SolverConfig,
+) -> PlanEquivalence {
+    let opt = solve(
+        a.clone(),
+        b,
+        config,
+        &SolveOptions { optimise: Some(true), legacy_interpreter: Some(false), ..sim_opts() },
+    );
+    let noopt = solve(
+        a.clone(),
+        b,
+        config,
+        &SolveOptions { optimise: Some(false), legacy_interpreter: Some(false), ..sim_opts() },
+    );
+    let legacy = solve(
+        a.clone(),
+        b,
+        config,
+        &SolveOptions { optimise: Some(true), legacy_interpreter: Some(true), ..sim_opts() },
+    );
+
+    assert_same("optimised vs unoptimised plan", &opt, &noopt);
+    assert_same("optimised plan vs legacy interpreter", &opt, &legacy);
+
+    let ro = compile_report(&opt);
+    let rn = compile_report(&noopt);
+    assert!(ro.optimised, "optimised run lost its CompileReport flag");
+    assert!(!rn.optimised, "unoptimised run lost its CompileReport flag");
+    assert_eq!(
+        ro.source_steps, rn.source_steps,
+        "source step counts differ between compiles of the same program"
+    );
+    assert!(
+        ro.plan_steps <= rn.plan_steps,
+        "optimisation increased dispatch steps ({} > {})",
+        ro.plan_steps,
+        rn.plan_steps
+    );
+    PlanEquivalence {
+        device_cycles: opt.stats.device_cycles(),
+        iterations: opt.iterations,
+        optimised_steps: ro.plan_steps,
+        unoptimised_steps: rn.plan_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{poisson_2d_5pt, rhs_for_ones};
+
+    #[test]
+    fn small_bicgstab_plans_are_equivalent() {
+        let a = Rc::new(poisson_2d_5pt(6, 6, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 8,
+            rel_tol: 0.0,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let eq = assert_plan_equivalence(a, &b, &cfg);
+        assert!(eq.device_cycles > 0);
+        assert!(eq.optimised_steps > 0);
+        assert!(eq.optimised_steps <= eq.unoptimised_steps);
+    }
+}

@@ -21,6 +21,7 @@ use verify::generators;
 use verify::invariants::{
     assert_deterministic, assert_executor_equivalence, audit_exchange_conservation,
 };
+use verify::plan_equiv::assert_plan_equivalence;
 
 // ---- differential suite, sharded for test-runner parallelism ----------
 
@@ -104,6 +105,27 @@ fn executors_are_equivalent_across_suite() {
     for case in graphene::graphene_core::config::verification_suite() {
         let eq = assert_executor_equivalence(a.clone(), &b, &case.config);
         assert!(eq.device_cycles > 0, "[{}] no device cycles recorded", case.name);
+    }
+}
+
+/// Every configuration in the verification suite must be bit-identical
+/// (solution tensors) and cycle-identical (device cycles, per-phase and
+/// per-label splits, per-tile busy time, histories) across the optimised
+/// plan, the unoptimised plan (`GRAPHENE_NO_OPT=1`) and the legacy
+/// tree-walking interpreter — the graph compiler's passes only remove
+/// host dispatch overhead, never simulated device work.
+#[test]
+fn plans_are_equivalent_across_suite() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    for case in graphene::graphene_core::config::verification_suite() {
+        let eq = assert_plan_equivalence(a.clone(), &b, &case.config);
+        assert!(eq.device_cycles > 0, "[{}] no device cycles recorded", case.name);
+        assert!(
+            eq.optimised_steps <= eq.unoptimised_steps,
+            "[{}] optimisation grew the plan",
+            case.name
+        );
     }
 }
 
