@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dsl::prelude::*;
 use graphene_bench::measure_spmv;
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::runner::{solve_or_panic, SolveOptions};
 use sparse::gen::{poisson_2d_5pt, poisson_3d_7pt, rhs_for_ones, Grid3};
 
 fn bench_spmv_simulation(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench_solver_simulation(c: &mut Criterion) {
         ..SolveOptions::default()
     };
     c.bench_function("simulate_bicgstab_ilu_16x16_8tiles", |b| {
-        b.iter(|| solve(a.clone(), &b_vec, &cfg, &opts))
+        b.iter(|| solve_or_panic(a.clone(), &b_vec, &cfg, &opts))
     });
 }
 

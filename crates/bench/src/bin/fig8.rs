@@ -16,7 +16,7 @@ use baselines::cpu::{CpuSolver, Ilu0Factors};
 use baselines::gpu::GpuModel;
 use graphene_bench::{header, Args, Reporter};
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene_core::solvers::ExtendedPrecision;
 use ipu_sim::model::IpuModel;
 use sparse::gen::suitesparse::{by_name, PAPER_MATRICES};
@@ -52,7 +52,7 @@ fn main() {
         };
         let opts =
             SolveOptions { model: model.clone(), rows_per_tile: 32, ..SolveOptions::default() };
-        let ipu = solve(a.clone(), &b, &cfg, &opts);
+        let ipu = solve_or_panic(a.clone(), &b, &cfg, &opts);
         reporter.add_solve(info.name, &ipu);
 
         // CPU: native f64 BiCGStab + global ILU(0), wall time on this host.

@@ -17,7 +17,7 @@ use std::rc::Rc;
 use graph::ExecutorKind;
 use graphene_bench::{header, Args};
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
 use ipu_sim::model::IpuModel;
 use json::Json;
 use sparse::formats::CsrMatrix;
@@ -52,7 +52,7 @@ fn run(
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..repeats.max(1) {
-        let r = solve(a.clone(), b, cfg, &opts);
+        let r = solve_or_panic(a.clone(), b, cfg, &opts);
         best = best.min(r.report.host_seconds);
         last = Some(r);
     }

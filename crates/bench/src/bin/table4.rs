@@ -9,7 +9,7 @@ use std::rc::Rc;
 
 use graphene_bench::{header, Args, Reporter};
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene_core::solvers::ExtendedPrecision;
 use ipu_sim::model::IpuModel;
 
@@ -47,7 +47,7 @@ fn main() {
             record_history: false,
             ..SolveOptions::default()
         };
-        let res = solve(a.clone(), &b, &cfg, &opts);
+        let res = solve_or_panic(a.clone(), &b, &cfg, &opts);
         let label = match precision {
             ExtendedPrecision::DoubleWord => "double_word",
             _ => "double_precision",

@@ -264,7 +264,7 @@ pub mod power {
 /// configurations the paper compares.
 pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32) {
     use graphene_core::config::SolverConfig;
-    use graphene_core::runner::{solve, SolveOptions};
+    use graphene_core::runner::{solve_or_panic, SolveOptions};
     use graphene_core::solvers::ExtendedPrecision;
 
     let a = Rc::new(sparse::gen::suitesparse::by_name(matrix, scale));
@@ -296,7 +296,7 @@ pub fn convergence_figure(fig: &str, matrix: &str, scale: f64, inner_iters: u32)
     // "Fig 9" -> "fig9": the GRAPHENE_REPORT file name for this figure.
     let mut reporter = Reporter::from_env(&fig.to_lowercase().replace(' ', ""));
     for (name, cfg) in configs {
-        let res = solve(a.clone(), &b, &cfg, &opts);
+        let res = solve_or_panic(a.clone(), &b, &cfg, &opts);
         reporter.add_solve(name, &res);
         println!("## config {name}: final residual {:.3e}", res.residual);
         println!("config\titer\trel_residual");

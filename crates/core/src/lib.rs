@@ -15,21 +15,29 @@
 //! * [`runner`] — the one-call host API: partition a matrix, build the
 //!   program, run it, return the solution with cycle statistics and
 //!   residual history.
+//! * [`resilience`] — structured solve outcomes ([`SolveError`] /
+//!   [`SolveStatus`]), in-flight detectors (non-finite / divergence /
+//!   stagnation), checkpoint-rollback recovery and the bounded
+//!   graceful-degradation ladder that keep a solve honest when
+//!   `ipu_sim::fault` injects hardware faults underneath it.
 
 pub mod config;
 pub mod dist;
+pub mod resilience;
 pub mod runner;
 pub mod solvers;
 
 pub use config::SolverConfig;
 pub use dist::DistSystem;
-pub use runner::{solve, SolveOptions, SolveResult};
+pub use resilience::{RecoveryPolicy, SolveError, SolveStatus};
+pub use runner::{solve, solve_or_panic, SolveOptions, SolveResult};
 pub use solvers::{solver_from_config, Solver};
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::config::SolverConfig;
     pub use crate::dist::DistSystem;
-    pub use crate::runner::{solve, SolveOptions, SolveResult};
+    pub use crate::resilience::{RecoveryPolicy, SolveError, SolveStatus};
+    pub use crate::runner::{solve, solve_or_panic, SolveOptions, SolveResult};
     pub use crate::solvers::{solver_from_config, Solver};
 }

@@ -19,6 +19,7 @@ use dsl::prelude::*;
 use dsl::TExpr;
 
 use crate::dist::DistSystem;
+use crate::resilience::{Checkpointer, Sentinel};
 use crate::solvers::{zero, Monitor, Solver};
 
 pub struct BiCgStab {
@@ -35,12 +36,27 @@ pub struct BiCgStab {
     pub shift: Option<TensorRef>,
     /// Device scalar holding the iteration count (readable after run).
     pub iter_count: Option<TensorRef>,
+    /// Optional in-flight watchdog: fed by the monitor's residual stream,
+    /// and hooked into the loop condition so a trip aborts the solve at
+    /// the next iteration boundary.
+    pub sentinel: Option<Sentinel>,
+    /// Optional periodic checkpoints of `x` for rollback recovery.
+    pub checkpoint: Option<Checkpointer>,
 }
 
 impl BiCgStab {
     pub fn new(max_iters: u32, rel_tol: f32, precond: Option<Box<dyn Solver>>) -> BiCgStab {
         assert!(max_iters > 0);
-        BiCgStab { max_iters, rel_tol, precond, monitor: None, shift: None, iter_count: None }
+        BiCgStab {
+            max_iters,
+            rel_tol,
+            precond,
+            monitor: None,
+            shift: None,
+            iter_count: None,
+            sentinel: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -93,6 +109,9 @@ impl Solver for BiCgStab {
                 ctx.reduce_into(res2, r * r);
             });
             ctx.assign(iter, TExpr::c_f32(0.0));
+            let chk = self.checkpoint.as_ref().map(|c| (c.clone(), c.setup(ctx, sys, DType::F32)));
+            let sentinel = self.sentinel.clone();
+            let sentinel_body = self.sentinel.clone();
 
             ctx.while_(
                 |ctx| {
@@ -110,6 +129,13 @@ impl Solver for BiCgStab {
                         iter.ex().lt(max_iters)
                     };
                     ctx.assign(pred, cont);
+                    // A tripped sentinel (host-side detection) overrides
+                    // the predicate to false — aborts this loop and, as
+                    // every enclosing loop carries the same hook, the
+                    // whole solver nest.
+                    if let Some(s) = &sentinel {
+                        s.emit_abort_hook(ctx, pred);
+                    }
                     pred
                 },
                 |ctx| {
@@ -189,7 +215,10 @@ impl Solver for BiCgStab {
                     );
                     ctx.assign(iter, iter + 1.0f32);
                     if let Some(mon) = &self.monitor {
-                        mon.record(ctx, x, self.shift);
+                        mon.record(ctx, x, self.shift, sentinel_body.clone());
+                    }
+                    if let Some((ck, st)) = &chk {
+                        ck.emit_step(ctx, st, x, iter);
                     }
                 },
             );

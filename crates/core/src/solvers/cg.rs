@@ -10,6 +10,7 @@ use dsl::prelude::*;
 use dsl::TExpr;
 
 use crate::dist::DistSystem;
+use crate::resilience::{Checkpointer, Sentinel};
 use crate::solvers::{zero, Monitor, Solver};
 
 pub struct Cg {
@@ -18,12 +19,24 @@ pub struct Cg {
     precond: Option<Box<dyn Solver>>,
     pub monitor: Option<Monitor>,
     pub shift: Option<TensorRef>,
+    /// Optional in-flight watchdog; see `BiCgStab::sentinel`.
+    pub sentinel: Option<Sentinel>,
+    /// Optional periodic checkpoints of `x` for rollback recovery.
+    pub checkpoint: Option<Checkpointer>,
 }
 
 impl Cg {
     pub fn new(max_iters: u32, rel_tol: f32, precond: Option<Box<dyn Solver>>) -> Cg {
         assert!(max_iters > 0);
-        Cg { max_iters, rel_tol, precond, monitor: None, shift: None }
+        Cg {
+            max_iters,
+            rel_tol,
+            precond,
+            monitor: None,
+            shift: None,
+            sentinel: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -74,6 +87,9 @@ impl Solver for Cg {
                 ctx.reduce_into(res2, r * r);
             });
             ctx.assign(iter, TExpr::c_f32(0.0));
+            let chk = self.checkpoint.as_ref().map(|c| (c.clone(), c.setup(ctx, sys, DType::F32)));
+            let sentinel = self.sentinel.clone();
+            let sentinel_body = self.sentinel.clone();
 
             ctx.while_(
                 |ctx| {
@@ -86,6 +102,11 @@ impl Solver for Cg {
                         iter.ex().lt(max_iters)
                     };
                     ctx.assign(pred, cont);
+                    // Host-side detections abort the loop at the next
+                    // iteration boundary (see bicgstab.rs).
+                    if let Some(s) = &sentinel {
+                        s.emit_abort_hook(ctx, pred);
+                    }
                     pred
                 },
                 |ctx| {
@@ -112,7 +133,10 @@ impl Solver for Cg {
                     ctx.label("reduce", |ctx| ctx.reduce_into(res2, r * r));
                     ctx.assign(iter, iter + 1.0f32);
                     if let Some(mon) = &self.monitor {
-                        mon.record(ctx, x, self.shift);
+                        mon.record(ctx, x, self.shift, sentinel_body.clone());
+                    }
+                    if let Some((ck, st)) = &chk {
+                        ck.emit_step(ctx, st, x, iter);
                     }
                 },
             );

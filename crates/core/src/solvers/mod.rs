@@ -109,7 +109,16 @@ impl Monitor {
 
     /// Emit a callback recording the true residual of `x` (plus `shift`,
     /// when `x` is a correction on top of an extended-precision base).
-    pub fn record(&self, ctx: &mut DslCtx, x: TensorRef, shift: Option<TensorRef>) {
+    /// When a [`Sentinel`](crate::resilience::Sentinel) is given, every
+    /// recorded sample also feeds its non-finite / divergence /
+    /// stagnation detectors.
+    pub fn record(
+        &self,
+        ctx: &mut DslCtx,
+        x: TensorRef,
+        shift: Option<TensorRef>,
+        sentinel: Option<crate::resilience::Sentinel>,
+    ) {
         let m = self.clone();
         let xid = x.id;
         let sid = shift.map(|s| s.id);
@@ -125,7 +134,11 @@ impl Monitor {
             let r2: f64 = m.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
             let mut c = m.counter.borrow_mut();
             *c += 1;
-            m.history.borrow_mut().push((*c, r2.sqrt() / m.b_norm));
+            let rel = r2.sqrt() / m.b_norm;
+            m.history.borrow_mut().push((*c, rel));
+            if let Some(s) = &sentinel {
+                s.observe(*c, rel);
+            }
         });
     }
 

@@ -18,6 +18,7 @@ use dsl::prelude::*;
 use dsl::TExpr;
 
 use crate::dist::DistSystem;
+use crate::resilience::{Checkpointer, Sentinel};
 use crate::solvers::{zero, Monitor, Solver};
 
 /// Which arithmetic carries MPIR steps 1 and 3.
@@ -55,6 +56,12 @@ pub struct Mpir {
     /// Extended-precision solution tensor (readable after run for the
     /// full-precision result).
     pub x_ext: Option<TensorRef>,
+    /// Optional in-flight watchdog; propagated to the inner solver so a
+    /// trip unwinds both loop levels (see `BiCgStab::sentinel`).
+    pub sentinel: Option<Sentinel>,
+    /// Optional periodic checkpoints of the extended solution `x_ext`
+    /// (taken once per outer refinement step).
+    pub checkpoint: Option<Checkpointer>,
 }
 
 impl Mpir {
@@ -65,7 +72,16 @@ impl Mpir {
         rel_tol: f64,
     ) -> Mpir {
         assert!(max_outer > 0);
-        Mpir { inner, precision, max_outer, rel_tol, monitor: None, x_ext: None }
+        Mpir {
+            inner,
+            precision,
+            max_outer,
+            rel_tol,
+            monitor: None,
+            x_ext: None,
+            sentinel: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -98,7 +114,8 @@ impl Solver for Mpir {
         let tol2 = (self.rel_tol * self.rel_tol) as f32;
 
         // Wire the inner solver's monitor to record true residuals on top
-        // of the extended base, if it supports one.
+        // of the extended base, if it supports one; the sentinel rides
+        // along so detections abort the inner loop too.
         if let Some(mon) = &self.monitor {
             if let Some(bicg) = self.inner.as_any().downcast_mut::<super::BiCgStab>() {
                 bicg.monitor = Some(mon.clone());
@@ -108,12 +125,21 @@ impl Solver for Mpir {
                 cg.shift = Some(x_ext);
             }
         }
+        if let Some(sen) = &self.sentinel {
+            if let Some(bicg) = self.inner.as_any().downcast_mut::<super::BiCgStab>() {
+                bicg.sentinel = Some(sen.clone());
+            } else if let Some(cg) = self.inner.as_any().downcast_mut::<super::Cg>() {
+                cg.sentinel = Some(sen.clone());
+            }
+        }
+        let sentinel = self.sentinel.clone();
 
         ctx.label("mpir", |ctx| {
             // x_ext = x (promoted); ‖b‖² in extended precision.
             ctx.assign(x_ext, x.to(ext));
             ctx.reduce_into(b2, b.to(ext) * b.to(ext));
             ctx.assign(outer, TExpr::c_f32(0.0));
+            let chk = self.checkpoint.as_ref().map(|c| (c.clone(), c.setup(ctx, sys, ext)));
 
             ctx.while_(
                 |ctx| {
@@ -135,6 +161,11 @@ impl Solver for Mpir {
                         outer.ex().lt(max_outer)
                     };
                     ctx.assign(pred, cont);
+                    // Host-side detections abort the refinement loop at
+                    // the next outer-iteration boundary (see bicgstab.rs).
+                    if let Some(s) = &sentinel {
+                        s.emit_abort_hook(ctx, pred);
+                    }
                     pred
                 },
                 |ctx| {
@@ -146,6 +177,9 @@ impl Solver for Mpir {
                     // Step 3: extended-precision update.
                     ctx.label("extended", |ctx| ctx.assign(x_ext, x_ext + c.to(ext)));
                     ctx.assign(outer, outer + 1.0f32);
+                    if let Some((ck, st)) = &chk {
+                        ck.emit_step(ctx, st, x_ext, outer);
+                    }
                 },
             );
             // Round the refined solution back to the working-precision

@@ -6,7 +6,7 @@
 use std::rc::Rc;
 
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
 use ipu_sim::clock::Phase;
 use ipu_sim::model::IpuModel;
 use profile::SolveReport;
@@ -25,7 +25,7 @@ fn run_pbicgstab(tiles: usize) -> SolveResult {
         tiles: Some(tiles),
         ..SolveOptions::default()
     };
-    solve(a, &b, &cfg, &opts)
+    solve_or_panic(a, &b, &cfg, &opts)
 }
 
 #[test]

@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::runner::{solve_or_panic, SolveOptions};
 use ipu_sim::model::IpuModel;
 use sparse::gen::{poisson_2d_5pt, rhs_for_ones};
 
@@ -27,7 +27,7 @@ fn graphene_trace_emits_chrome_trace_and_text_report() {
         precond: Some(Box::new(SolverConfig::Jacobi { sweeps: 2, omega: 2.0 / 3.0 })),
     };
     let opts = SolveOptions { model: IpuModel::tiny(4), tiles: Some(4), ..SolveOptions::default() };
-    let res = solve(a, &b, &cfg, &opts);
+    let res = solve_or_panic(a, &b, &cfg, &opts);
     std::env::remove_var("GRAPHENE_TRACE");
 
     // (a) Chrome trace: valid JSON, non-empty, monotone timestamps, and

@@ -46,6 +46,7 @@ use std::collections::{BTreeMap, HashMap};
 use ipu_sim::clock::CycleStats;
 use ipu_sim::cost::DType;
 use ipu_sim::exchange::ExchangeProgram;
+use ipu_sim::fault::{Fault, FaultEvent, FaultKind, FaultPlan};
 use ipu_sim::model::TileId;
 use profile::{CompileReport, TraceRecorder};
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
@@ -139,6 +140,58 @@ impl EngineOptions {
         } else {
             self.threads
         }
+    }
+}
+
+/// Runtime state of a [`FaultPlan`] inside one engine.
+///
+/// The plan itself is pure description; this carries what has actually
+/// happened — which faults have fired (each fault is one-shot: a transient
+/// upset, not a stuck-at), the log of fired events, and the per-run
+/// superstep counter. The runner moves this state between engines across
+/// recovery attempts ([`Engine::take_fault_state`] /
+/// [`Engine::set_fault_state`]) so a fault that fired before a rollback
+/// does not re-fire after it.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    resolved: Vec<Fault>,
+    fired: Vec<bool>,
+    log: Vec<FaultEvent>,
+    /// Compute supersteps completed in the current `run()` (resets to 0 at
+    /// the start of each run; exchange phases carry the superstep of the
+    /// compute step that follows them).
+    superstep: u64,
+}
+
+impl FaultState {
+    /// Resolve `plan` against a concrete tile count. Resolution is a pure
+    /// function of (plan, `num_tiles`), so the same plan replays
+    /// bit-identically on both host executors and across runs.
+    pub fn new(plan: FaultPlan, num_tiles: usize) -> FaultState {
+        let resolved = plan.resolve(num_tiles);
+        let fired = vec![false; resolved.len()];
+        FaultState { plan, resolved, fired, log: Vec::new(), superstep: 0 }
+    }
+
+    /// The plan this state was resolved from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The concrete faults the plan resolved to.
+    pub fn resolved(&self) -> &[Fault] {
+        &self.resolved
+    }
+
+    /// Every fault that has fired so far, in firing order.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Whether every resolved fault has fired.
+    pub fn all_fired(&self) -> bool {
+        self.fired.iter().all(|&f| f)
     }
 }
 
@@ -242,6 +295,10 @@ pub struct Engine {
     /// Optional timeline recorder, driven in lock-step with `stats`.
     trace: Option<TraceRecorder>,
     options: EngineOptions,
+    /// Optional fault-injection state. `None` (the default) keeps the hot
+    /// path untouched: execution, stats and traces are bit-identical to an
+    /// engine built before this field existed.
+    faults: Option<FaultState>,
 }
 
 impl Engine {
@@ -275,7 +332,32 @@ impl Engine {
             callbacks: HashMap::new(),
             trace: None,
             options,
+            faults: None,
         })
+    }
+
+    /// Arm a fault plan: resolve it against this engine's tile count and
+    /// start with a fresh (nothing-fired) state.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        let tiles = self.graph.model.num_tiles();
+        self.faults = Some(FaultState::new(plan, tiles));
+    }
+
+    /// Transplant previously taken fault state (e.g. across the engine
+    /// rebuild of a recovery attempt, so already-fired transient faults do
+    /// not re-fire).
+    pub fn set_fault_state(&mut self, state: Option<FaultState>) {
+        self.faults = state;
+    }
+
+    /// Detach and return the fault state, if any.
+    pub fn take_fault_state(&mut self) -> Option<FaultState> {
+        self.faults.take()
+    }
+
+    /// Faults that have fired so far (empty when no plan is armed).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map(|f| f.log.as_slice()).unwrap_or(&[])
     }
 
     /// Switch host executor between runs. Switching to
@@ -392,6 +474,10 @@ impl Engine {
             );
         }
         let opts = EngineOptions { threads: self.options.effective_threads(), ..self.options };
+        if let Some(f) = self.faults.as_mut() {
+            // Superstep coordinates are per-run; fired flags persist.
+            f.superstep = 0;
+        }
         let mut ctx = ExecCtx {
             graph: &self.graph,
             storage: &mut self.storage,
@@ -399,6 +485,7 @@ impl Engine {
             callbacks: &mut self.callbacks,
             trace: &mut self.trace,
             opts,
+            faults: &mut self.faults,
         };
         if opts.legacy_interpreter {
             let program = self.program.clone();
@@ -426,6 +513,7 @@ struct ExecCtx<'a> {
     callbacks: &'a mut HashMap<usize, HostCallback>,
     trace: &'a mut Option<TraceRecorder>,
     opts: EngineOptions,
+    faults: &'a mut Option<FaultState>,
 }
 
 impl ExecCtx<'_> {
@@ -630,6 +718,12 @@ impl ExecCtx<'_> {
             self.record_exchange(&es.bcast_name, &es.bcast, es.bcast_cycles);
         }
         self.record_sync(es.sync_cycles);
+        if self.faults.is_some() {
+            // Fault hooks run on the engine thread before the vertex
+            // executors fan out, so the perturbed state (and hence every
+            // downstream bit) is identical under both executors.
+            self.apply_sram_faults(es);
+        }
 
         let bases = TensorBases::new(self.storage);
         let per_tile: Vec<(TileId, u64)> = match self.opts.executor {
@@ -663,7 +757,15 @@ impl ExecCtx<'_> {
                 })
             }
         };
+        let per_tile = if self.faults.is_some() {
+            self.apply_stall_faults(&es.name, per_tile)
+        } else {
+            per_tile
+        };
         self.record_compute(&es.name, per_tile);
+        if let Some(f) = self.faults.as_mut() {
+            f.superstep += 1;
+        }
     }
 
     /// Replay one precomputed exchange phase: barrier, fabric cost, then
@@ -671,6 +773,10 @@ impl ExecCtx<'_> {
     fn exchange_planned(&mut self, ph: &ExchangePhase) {
         self.record_sync(ph.sync_cycles);
         self.record_exchange(&ph.name, &ph.program, ph.cycles);
+        if self.faults.is_some() {
+            self.exchange_with_faults(ph);
+            return;
+        }
         for c in &ph.copies {
             apply_copy(self.storage, c);
         }
@@ -680,10 +786,202 @@ impl ExecCtx<'_> {
     /// cycles per tile, then the data movement (self-copies cost the same
     /// but move nothing).
     fn copy_planned(&mut self, cp: &CopyStep) {
-        self.record_compute(&cp.name, cp.per_tile.clone());
+        let per_tile = if self.faults.is_some() {
+            self.apply_stall_faults(&cp.name, cp.per_tile.clone())
+        } else {
+            cp.per_tile.clone()
+        };
+        self.record_compute(&cp.name, per_tile);
         if cp.src != cp.dst {
             let (a, b) = index_two(self.storage, cp.src, cp.dst);
             copy_all(a, b);
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.superstep += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (no-ops unless a FaultPlan is armed)
+    // ------------------------------------------------------------------
+
+    /// Fire pending `SramBitFlip` faults aimed at this compute superstep:
+    /// the `word`-th float element (counting the float operands of the
+    /// tile's vertices in program order) gets one bit flipped just before
+    /// the vertices run.
+    fn apply_sram_faults(&mut self, es: &ExecuteStep) {
+        let Some(fs) = self.faults.as_mut() else { return };
+        let ss = fs.superstep;
+        let cs = &self.graph.compute_sets[es.cs];
+        for fi in 0..fs.resolved.len() {
+            let f = fs.resolved[fi];
+            let FaultKind::SramBitFlip { word, bit } = f.kind else { continue };
+            if fs.fired[fi] || f.superstep != ss {
+                continue;
+            }
+            // Enumerate the float words the target tile touches in this
+            // superstep, in program order.
+            let mut targets: Vec<(TensorId, usize, usize)> = Vec::new(); // (tensor, start, len)
+            let mut total = 0usize;
+            for v in &cs.vertices {
+                if v.tile != f.tile {
+                    continue;
+                }
+                for op in &v.operands {
+                    let dtype = self.graph.tensors[op.tensor].dtype;
+                    if matches!(dtype, DType::F32 | DType::DoubleWord | DType::F64Emulated) {
+                        targets.push((op.tensor, op.start, op.len));
+                        total += op.len;
+                    }
+                }
+            }
+            if total == 0 {
+                // The tile touches no float data here; the upset lands in
+                // unused SRAM and is harmless. Fired so it does not haunt
+                // later supersteps (the coordinate has passed).
+                fs.fired[fi] = true;
+                fs.log.push(FaultEvent {
+                    superstep: ss,
+                    tile: f.tile,
+                    class: "flip".into(),
+                    detail: format!("no float words on tile {} in '{}'", f.tile, es.name),
+                });
+                continue;
+            }
+            let mut idx = word as usize % total;
+            let (tensor, elem) = targets
+                .iter()
+                .find_map(|&(t, start, len)| {
+                    if idx < len {
+                        Some((t, start + idx))
+                    } else {
+                        idx -= len;
+                        None
+                    }
+                })
+                .expect("index within concatenated operand length");
+            let (old, new) = flip_bit(self.storage, tensor, elem, bit);
+            fs.fired[fi] = true;
+            let detail = format!(
+                "'{}'[{}] bit {}: {:e} -> {:e} (before '{}')",
+                self.graph.tensors[tensor].name, elem, bit, old, new, es.name
+            );
+            fs.log.push(FaultEvent { superstep: ss, tile: f.tile, class: "flip".into(), detail });
+            if let Some(t) = self.trace.as_mut() {
+                t.instant("fault:flip", &fs.log.last().unwrap().detail);
+            }
+        }
+    }
+
+    /// Add pending `Stall` cycles aimed at this compute superstep to the
+    /// per-tile cycle list (under BSP every other tile waits at the next
+    /// sync, so the makespan — and only the makespan — grows).
+    fn apply_stall_faults(
+        &mut self,
+        name: &str,
+        mut per_tile: Vec<(TileId, u64)>,
+    ) -> Vec<(TileId, u64)> {
+        let Some(fs) = self.faults.as_mut() else { return per_tile };
+        let ss = fs.superstep;
+        for fi in 0..fs.resolved.len() {
+            let f = fs.resolved[fi];
+            let FaultKind::Stall { cycles } = f.kind else { continue };
+            if fs.fired[fi] || f.superstep != ss {
+                continue;
+            }
+            match per_tile.binary_search_by_key(&f.tile, |&(t, _)| t) {
+                Ok(i) => per_tile[i].1 += cycles,
+                Err(i) => per_tile.insert(i, (f.tile, cycles)),
+            }
+            fs.fired[fi] = true;
+            let detail = format!("tile {} +{} cycles in '{}'", f.tile, cycles, name);
+            fs.log.push(FaultEvent { superstep: ss, tile: f.tile, class: "stall".into(), detail });
+            if let Some(t) = self.trace.as_mut() {
+                t.instant("fault:stall", &fs.log.last().unwrap().detail);
+            }
+        }
+        per_tile
+    }
+
+    /// Apply an exchange phase's copies with pending `ExchangeDrop` /
+    /// `ExchangeBitFlip` faults. An exchange phase carries the superstep
+    /// coordinate of the compute step that follows it, so `xdrop@s4`
+    /// perturbs the exchange feeding compute superstep 4.
+    fn exchange_with_faults(&mut self, ph: &ExchangePhase) {
+        let mut skip = vec![false; ph.copies.len()];
+        let mut flips: Vec<(usize, usize, u8)> = Vec::new(); // (copy idx, fault idx, bit)
+        let graph = self.graph;
+        if let Some(fs) = self.faults.as_mut() {
+            let ss = fs.superstep;
+            for fi in 0..fs.resolved.len() {
+                let f = fs.resolved[fi];
+                if fs.fired[fi] || f.superstep != ss {
+                    continue;
+                }
+                match f.kind {
+                    FaultKind::ExchangeDrop { word } => {
+                        let landing = copies_landing_on(graph, &ph.copies, f.tile);
+                        if landing.is_empty() {
+                            continue; // nothing lands here; try a later phase
+                        }
+                        let i = landing[word as usize % landing.len()];
+                        skip[i] = true;
+                        fs.fired[fi] = true;
+                        let c = &ph.copies[i];
+                        let detail = format!(
+                            "dropped '{}'[{}..{}] -> '{}'[{}..{}] in '{}'",
+                            self.graph.tensors[c.src].name,
+                            c.src_start,
+                            c.src_start + c.len,
+                            self.graph.tensors[c.dst].name,
+                            c.dst_start,
+                            c.dst_start + c.len,
+                            ph.name,
+                        );
+                        fs.log.push(FaultEvent {
+                            superstep: ss,
+                            tile: f.tile,
+                            class: "xdrop".into(),
+                            detail,
+                        });
+                        if let Some(t) = self.trace.as_mut() {
+                            t.instant("fault:xdrop", &fs.log.last().unwrap().detail);
+                        }
+                    }
+                    FaultKind::ExchangeBitFlip { word: _, bit } => {
+                        let landing = copies_landing_on(graph, &ph.copies, f.tile);
+                        let Some(&i) = landing.first() else { continue };
+                        flips.push((i, fi, bit));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, c) in ph.copies.iter().enumerate() {
+            if !skip[i] {
+                apply_copy(self.storage, c);
+            }
+        }
+        for (i, fi, bit) in flips {
+            let c = &ph.copies[i];
+            let word = match self.faults.as_ref().unwrap().resolved[fi].kind {
+                FaultKind::ExchangeBitFlip { word, .. } => word,
+                _ => unreachable!(),
+            };
+            let elem = c.dst_start + word as usize % c.len;
+            let (old, new) = flip_bit(self.storage, c.dst, elem, bit);
+            let fs = self.faults.as_mut().unwrap();
+            let ss = fs.superstep;
+            let tile = fs.resolved[fi].tile;
+            fs.fired[fi] = true;
+            let detail = format!(
+                "'{}'[{}] bit {}: {:e} -> {:e} (delivery in '{}')",
+                self.graph.tensors[c.dst].name, elem, bit, old, new, ph.name,
+            );
+            fs.log.push(FaultEvent { superstep: ss, tile, class: "xflip".into(), detail });
+            if let Some(t) = self.trace.as_mut() {
+                t.instant("fault:xflip", &fs.log.last().unwrap().detail);
+            }
         }
     }
 }
@@ -911,6 +1209,38 @@ fn copy_all(src: &Storage, dst: &mut Storage) {
         (Storage::F64(s), Storage::F64(d)) => d.copy_from_slice(s),
         _ => unreachable!("copy dtypes validated at compile time"),
     }
+}
+
+/// Indices of the copies in `copies` whose destination element lands on
+/// `tile` (by the destination tensor's tile map at the copy's start).
+fn copies_landing_on(graph: &Graph, copies: &[ElemCopy], tile: TileId) -> Vec<usize> {
+    copies
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| graph.tensors[c.dst].tile_of(c.dst_start) == Some(tile))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Flip one bit of element `i` of tensor `t` (fault injection). For f32 the
+/// bit indexes the IEEE-754 word; for double-word pairs it hits the high
+/// word; for emulated f64 the low 32 bits of the binary64 word; for i32 the
+/// integer bits; for bool any bit toggles the value. Returns the element's
+/// (old, new) value as f64 for the fault log.
+fn flip_bit(storage: &mut [Storage], t: TensorId, i: usize, bit: u8) -> (f64, f64) {
+    let old = storage[t].get_f64(i);
+    match &mut storage[t] {
+        Storage::F32(v) => v[i] = f32::from_bits(v[i].to_bits() ^ (1u32 << bit)),
+        Storage::I32(v) => v[i] ^= 1i32 << bit,
+        Storage::Bool(v) => v[i] = !v[i],
+        Storage::Dw(v) => {
+            let hi = f32::from_bits(v[i].hi().to_bits() ^ (1u32 << bit));
+            v[i] = TwoFloat::from_parts(hi, v[i].lo());
+        }
+        Storage::F64(v) => v[i] = SoftDouble(f64::from_bits(v[i].0.to_bits() ^ (1u64 << bit))),
+    }
+    let new = storage[t].get_f64(i);
+    (old, new)
 }
 
 fn apply_copy(storage: &mut [Storage], c: &ElemCopy) {
@@ -1774,5 +2104,180 @@ mod tests {
         let mut e = Engine::new(g.compile(Prog::Execute(cs)).unwrap());
         e.run();
         assert_eq!(e.read_tensor(x), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use ipu_sim::fault::FaultPlan;
+
+    fn run_faulted(exec: &Executable, x: TensorId, spec: &str, par: bool) -> (Vec<f64>, u64) {
+        let options = if par {
+            EngineOptions { executor: ExecutorKind::Parallel, threads: 2, ..Default::default() }
+        } else {
+            EngineOptions::default()
+        };
+        let mut e = Engine::with_options(exec.clone(), options).unwrap();
+        e.set_faults(FaultPlan::parse(spec).unwrap());
+        e.write_tensor(x, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        e.run();
+        (e.read_tensor(x), e.stats().device_cycles())
+    }
+
+    #[test]
+    fn sram_flip_perturbs_one_word_identically_on_both_executors() {
+        let (exec, x) = double_in_place();
+        // Flip bit 30 of float word 1 on tile 1 (tile 1 owns x[4..8], so
+        // word 1 is x[5]) before superstep 0.
+        let spec = "flip@s0.t1:w1.b30";
+        let (seq, seq_cycles) = run_faulted(&exec, x, spec, false);
+        let (par, par_cycles) = run_faulted(&exec, x, spec, true);
+        assert_eq!(seq, par, "fault replay must be executor-independent");
+        assert_eq!(seq_cycles, par_cycles);
+        // Only x[5] differs from the clean answer.
+        let clean = vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
+        for (i, (a, b)) in seq.iter().zip(&clean).enumerate() {
+            if i == 5 {
+                assert_ne!(a, b, "faulted word unchanged");
+            } else {
+                assert_eq!(a, b, "fault leaked to word {i}");
+            }
+        }
+        // The faulted value is the bit-flipped input, doubled.
+        let flipped = f32::from_bits(6.0f32.to_bits() ^ (1 << 30)) as f64;
+        assert_eq!(seq[5], flipped * 2.0);
+    }
+
+    #[test]
+    fn fault_fires_once_and_is_logged() {
+        let (exec, x) = double_in_place();
+        let mut e = Engine::new(exec);
+        e.set_faults(FaultPlan::parse("flip@s0.t0:w0.b1").unwrap());
+        e.write_tensor(x, &[1.0; 8]);
+        e.run();
+        assert_eq!(e.fault_log().len(), 1);
+        assert_eq!(e.fault_log()[0].class, "flip");
+        let after_first = e.read_tensor(x);
+        // Second run: the transient fault has already fired, so execution
+        // is clean (doubling whatever is in storage, with no new flip).
+        e.run();
+        assert_eq!(e.fault_log().len(), 1, "one-shot fault re-fired");
+        let expected: Vec<f64> = after_first.iter().map(|v| v * 2.0).collect();
+        assert_eq!(e.read_tensor(x), expected);
+    }
+
+    #[test]
+    fn stall_fault_grows_makespan_only() {
+        let (exec, x) = double_in_place();
+        let clean = {
+            let mut e = Engine::new(exec.clone());
+            e.write_tensor(x, &[1.0; 8]);
+            e.run();
+            (e.read_tensor(x), e.stats().device_cycles())
+        };
+        let mut e = Engine::new(exec);
+        e.set_faults(FaultPlan::parse("stall@s0.t1:c5000").unwrap());
+        e.write_tensor(x, &[1.0; 8]);
+        e.run();
+        assert_eq!(e.read_tensor(x), clean.0, "a stall must not corrupt data");
+        assert_eq!(
+            e.stats().device_cycles(),
+            clean.1 + 5000,
+            "the whole chip waits for the stalled tile"
+        );
+        assert_eq!(e.fault_log().len(), 1);
+        assert_eq!(e.fault_log()[0].class, "stall");
+    }
+
+    #[test]
+    fn exchange_drop_leaves_stale_destination() {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::F32, 4, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::F32, 4, 1)).unwrap();
+        let ex = ExchangeStep {
+            name: "halo".into(),
+            copies: vec![ElemCopy { src: a, src_start: 1, dst: b, dst_start: 0, len: 3 }],
+        };
+        let exec = g.compile(Prog::Exchange(ex)).unwrap();
+        // The copy lands on tile 1; drop it -> b keeps its zeros. The
+        // exchange is still *charged* (the fabric sent the data, the
+        // receiver lost it), so cycles are unchanged.
+        let clean_cycles = {
+            let mut e = Engine::new(exec.clone());
+            e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0]);
+            e.run();
+            assert_eq!(e.read_tensor(b), vec![2.0, 3.0, 4.0, 0.0]);
+            e.stats().device_cycles()
+        };
+        let mut e = Engine::new(exec.clone());
+        e.set_faults(FaultPlan::parse("xdrop@s0.t1").unwrap());
+        e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0]);
+        e.run();
+        assert_eq!(e.read_tensor(b), vec![0.0; 4], "dropped copy must leave stale data");
+        assert_eq!(e.stats().device_cycles(), clean_cycles);
+        assert_eq!(e.fault_log().len(), 1);
+        assert_eq!(e.fault_log()[0].class, "xdrop");
+        // A drop aimed at tile 0 has nothing to drop there: it never
+        // fires, and the copy goes through.
+        let mut e = Engine::new(exec);
+        e.set_faults(FaultPlan::parse("xdrop@s0.t0").unwrap());
+        e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0]);
+        e.run();
+        assert_eq!(e.read_tensor(b), vec![2.0, 3.0, 4.0, 0.0]);
+        assert!(e.fault_log().is_empty());
+    }
+
+    #[test]
+    fn exchange_flip_corrupts_delivery() {
+        let mut g = Graph::new(IpuModel::tiny(2));
+        let a = g.add_tensor(TensorDef::on_tile("a", DType::F32, 4, 0)).unwrap();
+        let b = g.add_tensor(TensorDef::on_tile("b", DType::F32, 4, 1)).unwrap();
+        let ex = ExchangeStep {
+            name: "halo".into(),
+            copies: vec![ElemCopy { src: a, src_start: 0, dst: b, dst_start: 0, len: 4 }],
+        };
+        let exec = g.compile(Prog::Exchange(ex)).unwrap();
+        let mut e = Engine::new(exec);
+        e.set_faults(FaultPlan::parse("xflip@s0.t1:w2.b31").unwrap());
+        e.write_tensor(a, &[1.0, 2.0, 3.0, 4.0]);
+        e.run();
+        // Word 2 of the delivered block arrives sign-flipped; the source
+        // is untouched.
+        assert_eq!(e.read_tensor(b), vec![1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(e.read_tensor(a), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fault_log().len(), 1);
+        assert_eq!(e.fault_log()[0].class, "xflip");
+    }
+
+    #[test]
+    fn faulted_run_is_bit_deterministic() {
+        let (exec, x) = double_in_place();
+        let spec = "seed=7;n=4;smax=2;wmax=8";
+        let (r1, c1) = run_faulted(&exec, x, spec, false);
+        let (r2, c2) = run_faulted(&exec, x, spec, false);
+        let (r3, c3) = run_faulted(&exec, x, spec, true);
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        assert_eq!(r1, r3);
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn fault_state_transplants_across_engines() {
+        let (exec, x) = double_in_place();
+        let mut e1 = Engine::new(exec.clone());
+        e1.set_faults(FaultPlan::parse("flip@s0.t0:w0.b1").unwrap());
+        e1.write_tensor(x, &[1.0; 8]);
+        e1.run();
+        let st = e1.take_fault_state().unwrap();
+        assert!(st.all_fired());
+        // A rebuilt engine carrying the state runs clean.
+        let mut e2 = Engine::new(exec);
+        e2.set_fault_state(Some(st));
+        e2.write_tensor(x, &[1.0; 8]);
+        e2.run();
+        assert_eq!(e2.read_tensor(x), vec![2.0; 8]);
+        assert_eq!(e2.fault_log().len(), 1, "log travels with the state");
     }
 }

@@ -34,7 +34,7 @@ pub use codelet::{
     BinOp, Codelet, CodeletId, Expr, LocalId, ParamDecl, ParamId, Stmt, UnOp, Value,
 };
 pub use compute::{ComputeSet, ComputeSetId, Vertex, VertexKind};
-pub use engine::{parallel_hazards, Engine, EngineOptions, ExecutorKind};
+pub use engine::{parallel_hazards, Engine, EngineOptions, ExecutorKind, FaultState};
 pub use graph::{CompileError, Executable, Graph};
 pub use passes::CompileOptions;
 pub use plan::{ExecPlan, PlanStep, StepId};

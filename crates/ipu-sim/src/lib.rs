@@ -31,6 +31,7 @@
 pub mod clock;
 pub mod cost;
 pub mod exchange;
+pub mod fault;
 pub mod memory;
 pub mod model;
 pub mod threading;
@@ -38,5 +39,6 @@ pub mod threading;
 pub use clock::{CycleStats, Phase};
 pub use cost::{CostModel, DType, Op};
 pub use exchange::{BlockCopy, ExchangeProgram, RegionKey};
+pub use fault::{Fault, FaultEvent, FaultKind, FaultPlan};
 pub use memory::TileMemory;
 pub use model::{IpuModel, TileId, WorkerId};

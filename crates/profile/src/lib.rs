@@ -25,11 +25,13 @@
 
 mod compile_report;
 mod report;
+mod resilience;
 mod solve_report;
 mod trace;
 
 pub use compile_report::{CompileReport, PassStat};
 pub use report::text_report;
+pub use resilience::{DetectionRecord, Resilience};
 pub use solve_report::{CycleBreakdown, LabelEntry, SolveReport, TileUtil, UNLABELLED};
 pub use trace::{ExchangeRecord, Lane, TraceEvent, TraceRecorder};
 

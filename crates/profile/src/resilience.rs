@@ -1,0 +1,146 @@
+//! The `resilience` section of a [`crate::SolveReport`].
+//!
+//! When fault injection and/or the recovery layer are active, the runner
+//! stamps everything that happened — injected faults, detections,
+//! rollbacks, degradations, checkpoint overhead — into this additive
+//! section. Reports written before it existed (PR 1–4) parse unchanged
+//! with `resilience: None`.
+
+use ipu_sim::fault::FaultEvent;
+use json::Json;
+
+/// One detection the recovery layer acted on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectionRecord {
+    /// 1-based attempt in which the detection fired.
+    pub attempt: u32,
+    /// Detector class: `non_finite` / `divergence` / `stagnation` /
+    /// `tolerance_miss`.
+    pub kind: String,
+    /// Monitored iteration at detection time (0: post-run check).
+    pub iteration: usize,
+    /// Relative residual observed (NaN serialises as `null`).
+    pub residual: f64,
+    pub detail: String,
+}
+
+/// The `resilience` section: what faults were injected and what the
+/// detect/recover/degrade layer did about them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Resilience {
+    /// Terminal status: `converged` / `max_iters` / `recovered` (the
+    /// matching `SolveError` name for failed solves is reported by the
+    /// caller, not here — a failed solve returns `Err`, not a report).
+    pub status: String,
+    /// Total attempts executed (1 = no recovery needed).
+    pub attempts: u32,
+    /// Rollback-and-restart recoveries across all configuration rungs.
+    pub restarts: u32,
+    /// Human-readable degradation steps, in order.
+    pub degradations: Vec<String>,
+    /// Every injected fault that fired, across all attempts.
+    pub faults_injected: Vec<FaultEvent>,
+    pub detections: Vec<DetectionRecord>,
+    /// Checkpoint snapshots taken across all attempts.
+    pub checkpoints: u64,
+    /// Device cycles spent under the `checkpoint` label (final attempt).
+    pub checkpoint_cycles: u64,
+    /// Device cycles summed over *all* attempts (the per-attempt stats in
+    /// the report body cover only the final one).
+    pub total_device_cycles: u64,
+}
+
+impl Resilience {
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("status", Json::from(self.status.as_str())),
+            ("attempts", Json::from(self.attempts as u64)),
+            ("restarts", Json::from(self.restarts as u64)),
+            ("degradations", Json::arr(self.degradations.iter().map(|d| Json::from(d.as_str())))),
+            (
+                "faults_injected",
+                Json::arr(self.faults_injected.iter().map(|f| {
+                    Json::obj([
+                        ("superstep", Json::from(f.superstep)),
+                        ("tile", Json::from(f.tile)),
+                        ("class", Json::from(f.class.as_str())),
+                        ("detail", Json::from(f.detail.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "detections",
+                Json::arr(self.detections.iter().map(|d| {
+                    Json::obj([
+                        ("attempt", Json::from(d.attempt as u64)),
+                        ("kind", Json::from(d.kind.as_str())),
+                        ("iteration", Json::from(d.iteration)),
+                        (
+                            "residual",
+                            if d.residual.is_finite() {
+                                Json::from(d.residual)
+                            } else {
+                                Json::Null
+                            },
+                        ),
+                        ("detail", Json::from(d.detail.as_str())),
+                    ])
+                })),
+            ),
+            ("checkpoints", Json::from(self.checkpoints)),
+            ("checkpoint_cycles", Json::from(self.checkpoint_cycles)),
+            ("total_device_cycles", Json::from(self.total_device_cycles)),
+        ])
+    }
+
+    pub fn from_value(v: &Json) -> Result<Resilience, String> {
+        let str_of = |v: &Json, k: &str| -> String {
+            v.get(k).and_then(Json::as_str).unwrap_or_default().to_string()
+        };
+        let u64_of = |v: &Json, k: &str| -> u64 { v.get(k).and_then(Json::as_u64).unwrap_or(0) };
+        let faults_injected = v
+            .get("faults_injected")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .map(|f| FaultEvent {
+                        superstep: u64_of(f, "superstep"),
+                        tile: u64_of(f, "tile") as usize,
+                        class: str_of(f, "class"),
+                        detail: str_of(f, "detail"),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let detections = v
+            .get("detections")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .map(|d| DetectionRecord {
+                        attempt: u64_of(d, "attempt") as u32,
+                        kind: str_of(d, "kind"),
+                        iteration: u64_of(d, "iteration") as usize,
+                        residual: d.get("residual").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                        detail: str_of(d, "detail"),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Resilience {
+            status: str_of(v, "status"),
+            attempts: u64_of(v, "attempts") as u32,
+            restarts: u64_of(v, "restarts") as u32,
+            degradations: v
+                .get("degradations")
+                .and_then(Json::as_arr)
+                .map(|arr| arr.iter().map(|d| d.as_str().unwrap_or_default().to_string()).collect())
+                .unwrap_or_default(),
+            faults_injected,
+            detections,
+            checkpoints: u64_of(v, "checkpoints"),
+            checkpoint_cycles: u64_of(v, "checkpoint_cycles"),
+            total_device_cycles: u64_of(v, "total_device_cycles"),
+        })
+    }
+}

@@ -37,6 +37,7 @@
 //! `<unlabelled>` entry absorbs cycles recorded outside any label scope.
 
 use crate::compile_report::CompileReport;
+use crate::resilience::Resilience;
 use ipu_sim::clock::{CycleStats, Phase};
 use json::Json;
 
@@ -111,6 +112,10 @@ pub struct SolveReport {
     /// `None` for reports written before the graph compiler existed or
     /// when the engine did not expose one.
     pub compile: Option<CompileReport>,
+    /// Fault-injection and recovery record; `None` for healthy solves run
+    /// without fault injection and for reports written before the
+    /// resilience layer existed.
+    pub resilience: Option<Resilience>,
     /// Free-form extra fields, serialised under `"extra"`.
     pub extra: Vec<(String, Json)>,
 }
@@ -134,6 +139,7 @@ impl SolveReport {
             labels: Vec::new(),
             tile_util: TileUtil::default(),
             compile: None,
+            resilience: None,
             extra: Vec::new(),
         }
     }
@@ -254,6 +260,9 @@ impl SolveReport {
         if let Some(compile) = &self.compile {
             pairs.push(("compile".to_string(), compile.to_value()));
         }
+        if let Some(resilience) = &self.resilience {
+            pairs.push(("resilience".to_string(), resilience.to_value()));
+        }
         if !self.extra.is_empty() {
             pairs.push(("extra".to_string(), Json::Obj(self.extra.clone())));
         }
@@ -364,6 +373,9 @@ impl SolveReport {
             },
             // Absent in reports written before the graph compiler existed.
             compile: v.get("compile").map(CompileReport::from_value).transpose()?,
+            // Absent in healthy reports and all reports written before the
+            // resilience layer existed.
+            resilience: v.get("resilience").map(Resilience::from_value).transpose()?,
             extra: v.get("extra").and_then(Json::as_obj).map(|o| o.to_vec()).unwrap_or_default(),
         })
     }
@@ -539,6 +551,63 @@ mod tests {
         let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
         assert_eq!(parsed.host_seconds, 0.0);
         assert_eq!(parsed.executor, "");
+    }
+
+    #[test]
+    fn resilience_round_trips_and_legacy_reports_parse() {
+        use crate::resilience::{DetectionRecord, Resilience};
+        use ipu_sim::fault::FaultEvent;
+        let mut r = SolveReport::new("faulted").with_stats(&sample_stats());
+        r.resilience = Some(Resilience {
+            status: "recovered".to_string(),
+            attempts: 2,
+            restarts: 1,
+            degradations: vec!["preconditioner ilu0 -> jacobi".to_string()],
+            faults_injected: vec![FaultEvent {
+                superstep: 12,
+                tile: 3,
+                class: "flip".to_string(),
+                detail: "'x'[5] bit 22".to_string(),
+            }],
+            detections: vec![DetectionRecord {
+                attempt: 1,
+                kind: "non_finite".to_string(),
+                iteration: 14,
+                residual: f64::NAN,
+                detail: "residual is NaN".to_string(),
+            }],
+            checkpoints: 3,
+            checkpoint_cycles: 420,
+            total_device_cycles: 99_000,
+        });
+        let back = SolveReport::from_json(&r.to_json()).unwrap();
+        let res = back.resilience.as_ref().unwrap();
+        assert_eq!(res.status, "recovered");
+        assert_eq!(res.attempts, 2);
+        assert_eq!(res.restarts, 1);
+        assert_eq!(res.degradations, vec!["preconditioner ilu0 -> jacobi".to_string()]);
+        assert_eq!(res.faults_injected, r.resilience.as_ref().unwrap().faults_injected);
+        // NaN residual serialises as null and parses back as NaN.
+        assert!(res.detections[0].residual.is_nan());
+        assert_eq!(res.detections[0].kind, "non_finite");
+        assert_eq!(res.checkpoints, 3);
+        assert_eq!(res.checkpoint_cycles, 420);
+        assert_eq!(res.total_device_cycles, 99_000);
+
+        // A healthy solve emits no "resilience" key at all — byte-for-byte
+        // the PR 1-4 schema.
+        let healthy = SolveReport::new("t").with_stats(&sample_stats());
+        assert!(!healthy.to_json().contains("resilience"));
+
+        // Reports written before the resilience layer existed (PR 1-4)
+        // parse unchanged with `resilience: None`.
+        let mut legacy = r.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "resilience");
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.resilience, None);
+        assert_eq!(parsed.cycles, r.cycles);
     }
 
     #[test]

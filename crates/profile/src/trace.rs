@@ -184,6 +184,19 @@ impl TraceRecorder {
         self.clock += cycles;
     }
 
+    /// A zero-duration marker on the Steps lane — fault injections,
+    /// detections and recovery actions use these so they line up with the
+    /// device timeline without perturbing the clock.
+    pub fn instant(&mut self, name: &str, detail: &str) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            lane: Lane::Steps,
+            ts: self.clock,
+            dur: 0,
+            args: vec![("phase", Json::from("instant")), ("detail", Json::from(detail))],
+        });
+    }
+
     /// Enter a named scope (`Prog::Label`).
     pub fn begin_label(&mut self, name: &str) {
         self.open_labels.push((name.to_string(), self.clock));

@@ -23,7 +23,7 @@ use std::rc::Rc;
 use dsl::prelude::*;
 use graphene_core::config::{verification_suite, VerifyCase};
 use graphene_core::dist::DistSystem;
-use graphene_core::runner::{solve, SolveOptions};
+use graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene_core::solvers::{BiCgStab, Solver, TwoGrid};
 use sparse::gen::{poisson_3d_7pt, rhs_for_ones, Grid3};
 use sparse::partition::Partition;
@@ -76,7 +76,7 @@ fn prepare(fam: Family, seed: u64) -> Prepared {
 }
 
 fn run_one(case: &VerifyCase, prep: &Prepared) -> Outcome {
-    let res = solve(prep.a32.clone(), &prep.b, &case.config, &sim_opts());
+    let res = solve_or_panic(prep.a32.clone(), &prep.b, &case.config, &sim_opts());
     let x_ref = prep.lu.solve(&prep.b);
     Outcome {
         case: case.name,

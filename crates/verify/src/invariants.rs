@@ -25,7 +25,7 @@ use dsl::prelude::*;
 use graph::ExecutorKind;
 use graphene_core::config::SolverConfig;
 use graphene_core::dist::DistSystem;
-use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
 use graphene_core::solvers::solver_from_config;
 use ipu_sim::clock::Phase;
 use profile::TraceRecorder;
@@ -65,8 +65,8 @@ pub fn assert_deterministic(
     b: &[f64],
     config: &SolverConfig,
 ) -> DeterminismReport {
-    let r1 = solve(a.clone(), b, config, &sim_opts());
-    let r2 = solve(a.clone(), b, config, &sim_opts());
+    let r1 = solve_or_panic(a.clone(), b, config, &sim_opts());
+    let r2 = solve_or_panic(a.clone(), b, config, &sim_opts());
     let (x1, dc1, xb1, ss1, sc1, lb1) = fingerprint(&r1);
     let (x2, dc2, xb2, ss2, sc2, lb2) = fingerprint(&r2);
     assert_eq!(x1, x2, "solution bits differ between identical runs");
@@ -107,8 +107,8 @@ pub fn assert_executor_equivalence(
     };
     let par_opts =
         SolveOptions { executor: Some(ExecutorKind::Parallel), record_history: true, ..sim_opts() };
-    let rs = solve(a.clone(), b, config, &seq_opts);
-    let rp = solve(a.clone(), b, config, &par_opts);
+    let rs = solve_or_panic(a.clone(), b, config, &seq_opts);
+    let rp = solve_or_panic(a.clone(), b, config, &par_opts);
     let (xs, dcs, xbs, sss, scs, lbs) = fingerprint(&rs);
     let (xp, dcp, xbp, ssp, scp, lbp) = fingerprint(&rp);
     assert_eq!(xs, xp, "solution bits differ between executors");

@@ -19,6 +19,11 @@
 //!   the normalisation invariant;
 //! * [`invariants`] — simulator-level checks: double-run bit determinism,
 //!   label-stack balance and exchange-byte conservation;
+//! * [`resilience`] — fault-injection properties: the outcome trichotomy
+//!   under seeded faults (converged | recovered | structured error, with
+//!   the accepted residual independently recomputed so no silently-wrong
+//!   answer escapes), bit-determinism of faulted replays across runs and
+//!   executors, and zero overhead when the machinery is off;
 //! * [`plan_equiv`] — graph-compiler checks: the optimised plan, the
 //!   unoptimised plan and the legacy tree-walking interpreter must
 //!   produce bit-identical solutions and cycle-identical profiles.
@@ -33,6 +38,7 @@ pub mod generators;
 pub mod invariants;
 pub mod oracle;
 pub mod plan_equiv;
+pub mod resilience;
 pub mod ulp_audit;
 
 /// Number of randomised cases a sweep should run.

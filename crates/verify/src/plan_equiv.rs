@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use dsl::prelude::*;
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, SolveOptions, SolveResult};
+use graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
 use ipu_sim::clock::Phase;
 use profile::CompileReport;
 use sparse::formats::CsrMatrix;
@@ -104,19 +104,19 @@ pub fn assert_plan_equivalence(
     b: &[f64],
     config: &SolverConfig,
 ) -> PlanEquivalence {
-    let opt = solve(
+    let opt = solve_or_panic(
         a.clone(),
         b,
         config,
         &SolveOptions { optimise: Some(true), legacy_interpreter: Some(false), ..sim_opts() },
     );
-    let noopt = solve(
+    let noopt = solve_or_panic(
         a.clone(),
         b,
         config,
         &SolveOptions { optimise: Some(false), legacy_interpreter: Some(false), ..sim_opts() },
     );
-    let legacy = solve(
+    let legacy = solve_or_panic(
         a.clone(),
         b,
         config,

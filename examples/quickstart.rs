@@ -12,7 +12,7 @@
 use std::rc::Rc;
 
 use graphene::graphene_core::config::SolverConfig;
-use graphene::graphene_core::runner::{solve, SolveOptions};
+use graphene::graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene::ipu_sim::{IpuModel, Phase};
 use graphene::sparse::gen;
 
@@ -46,7 +46,7 @@ fn main() {
     // 4. Solve. This symbolically executes the solver into a dataflow
     //    graph + schedule + codelets, compiles it, and runs it on the
     //    cycle-modelled device.
-    let result = solve(a, &b, &config, &opts);
+    let result = solve_or_panic(a, &b, &config, &opts);
 
     println!("relative residual: {:.3e}", result.residual);
     println!("inner iterations:  {}", result.iterations);
@@ -73,6 +73,26 @@ fn main() {
     println!("\nby solver component:");
     for (label, cycles) in result.stats.labels_sorted().into_iter().take(6) {
         println!("  {label:14} {cycles:>12} cycles");
+    }
+
+    // 5. When fault injection is armed (GRAPHENE_FAULTS=...), the report
+    //    carries a resilience section: what fired, what was detected,
+    //    and what it cost to recover.
+    if let Some(res) = &result.report.resilience {
+        println!("\nresilience ({:?}):", result.status);
+        println!("  attempts: {}  restarts: {}", res.attempts, res.restarts);
+        for f in &res.faults_injected {
+            println!("  fault injected: {}", f.detail);
+        }
+        for d in &res.detections {
+            println!(
+                "  detected {} at iteration {} (attempt {}): {}",
+                d.kind, d.iteration, d.attempt, d.detail
+            );
+        }
+        for g in &res.degradations {
+            println!("  degraded: {g}");
+        }
     }
 
     assert!(result.residual < 1e-10, "solver should reach extended precision");

@@ -15,7 +15,7 @@
 use std::rc::Rc;
 
 use graphene::graphene_core::config::SolverConfig;
-use graphene::graphene_core::runner::{solve, SolveOptions};
+use graphene::graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene::graphene_core::solvers::ExtendedPrecision;
 use graphene::ipu_sim::IpuModel;
 use graphene::sparse::gen;
@@ -82,7 +82,7 @@ fn main() {
     println!("configuration                        final residual   device ms");
     let mut floors = Vec::new();
     for (name, cfg) in configs {
-        let r = solve(a.clone(), &b, &cfg, &opts);
+        let r = solve_or_panic(a.clone(), &b, &cfg, &opts);
         println!("{name}  {:>12.3e}   {:>8.2}", r.residual, r.seconds * 1e3);
         floors.push(r.residual);
     }

@@ -20,4 +20,5 @@ run "Fig 9"      fig9                      | tee results/fig9.txt
 run "Fig 10"     fig10                     | tee results/fig10.txt
 run "Table IV"   table4                    | tee results/table4.txt
 run "Ablations"  ablations                 | tee results/ablations.txt
+run "Resilience" resilience                | tee results/resilience.txt
 echo "all experiments done"

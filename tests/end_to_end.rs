@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use graphene::baselines::cpu::CpuSolver;
 use graphene::graphene_core::config::SolverConfig;
-use graphene::graphene_core::runner::{solve, SolveOptions};
+use graphene::graphene_core::runner::{solve_or_panic, SolveOptions};
 use graphene::graphene_core::solvers::ExtendedPrecision;
 use graphene::ipu_sim::IpuModel;
 use graphene::sparse::gen;
@@ -28,7 +28,7 @@ fn bicgstab_ilu(max_iters: u32, tol: f32) -> SolverConfig {
 fn device_solution_matches_cpu_baseline() {
     let a = Rc::new(gen::poisson_2d_5pt(14, 14, 1.0));
     let b = gen::random_vector(a.nrows, 3);
-    let dev = solve(a.clone(), &b, &bicgstab_ilu(300, 1e-7), &opts(4));
+    let dev = solve_or_panic(a.clone(), &b, &bicgstab_ilu(300, 1e-7), &opts(4));
     let mut x_cpu = vec![0.0; a.nrows];
     CpuSolver::new(1000, 1e-12, true).solve(&a, &b, &mut x_cpu);
     // Both solve (nearly) the same system; agreement limited by the f32
@@ -43,7 +43,7 @@ fn all_suitesparse_analogues_solve() {
     for name in ["G3_circuit", "af_shell7", "Geo_1438", "Hook_1498"] {
         let a = Rc::new(gen::suitesparse::by_name(name, 0.001));
         let b = gen::random_vector(a.nrows, 5);
-        let res = solve(a, &b, &bicgstab_ilu(500, 1e-5), &opts(8));
+        let res = solve_or_panic(a, &b, &bicgstab_ilu(500, 1e-5), &opts(8));
         assert!(res.residual < 1e-4, "{name}: residual {:.3e}", res.residual);
     }
 }
@@ -55,7 +55,7 @@ fn solution_independent_of_tile_count() {
     let a = Rc::new(gen::poisson_2d_5pt(12, 12, 1.0));
     let b = gen::rhs_for_ones(&a);
     for tiles in [1usize, 2, 5, 16] {
-        let res = solve(a.clone(), &b, &bicgstab_ilu(400, 1e-6), &opts(tiles));
+        let res = solve_or_panic(a.clone(), &b, &bicgstab_ilu(400, 1e-6), &opts(tiles));
         assert!(res.residual < 2e-6, "{tiles} tiles: residual {:.3e}", res.residual);
         for v in &res.x {
             assert!((v - 1.0).abs() < 1e-3, "{tiles} tiles: x = {v}");
@@ -68,8 +68,8 @@ fn device_cycles_are_deterministic() {
     let a = Rc::new(gen::poisson_2d_5pt(10, 10, 1.0));
     let b = gen::rhs_for_ones(&a);
     let cfg = bicgstab_ilu(50, 1e-6);
-    let r1 = solve(a.clone(), &b, &cfg, &opts(4));
-    let r2 = solve(a, &b, &cfg, &opts(4));
+    let r1 = solve_or_panic(a.clone(), &b, &cfg, &opts(4));
+    let r2 = solve_or_panic(a, &b, &cfg, &opts(4));
     assert_eq!(r1.stats.device_cycles(), r2.stats.device_cycles());
     assert_eq!(r1.x, r2.x);
     assert_eq!(r1.iterations, r2.iterations);
@@ -90,7 +90,7 @@ fn mpir_precisions_order_correctly() {
             max_outer: 5,
             rel_tol: 1e-18,
         };
-        let res = solve(a.clone(), &b, &cfg, &opts(4));
+        let res = solve_or_panic(a.clone(), &b, &cfg, &opts(4));
         floors.push(res.residual);
     }
     assert!(floors[1] < floors[0] * 1e-3, "dw {} vs working {}", floors[1], floors[0]);
@@ -118,7 +118,7 @@ fn deep_nesting_works() {
         rel_tol: 1e-10,
     };
     assert_eq!(cfg.depth(), 3);
-    let res = solve(a, &b, &cfg, &opts(4));
+    let res = solve_or_panic(a, &b, &cfg, &opts(4));
     assert!(res.residual < 1e-9, "residual {:.3e}", res.residual);
 }
 
@@ -126,7 +126,7 @@ fn deep_nesting_works() {
 fn solver_history_tracks_monitor_and_device_time_positive() {
     let a = Rc::new(gen::poisson_2d_5pt(10, 10, 1.0));
     let b = gen::rhs_for_ones(&a);
-    let res = solve(a, &b, &bicgstab_ilu(30, 1e-6), &opts(2));
+    let res = solve_or_panic(a, &b, &bicgstab_ilu(30, 1e-6), &opts(2));
     assert_eq!(res.history.len(), res.iterations);
     assert!(res.seconds > 0.0);
     // History iterations are 1..=n, strictly increasing.
@@ -153,7 +153,7 @@ fn asymmetric_system_solves() {
     let a = Rc::new(coo.to_csr());
     assert!(!a.is_symmetric(1e-12));
     let b = gen::random_vector(n, 1);
-    let res = solve(a.clone(), &b, &bicgstab_ilu(200, 1e-6), &opts(3));
+    let res = solve_or_panic(a.clone(), &b, &bicgstab_ilu(200, 1e-6), &opts(3));
     assert!(res.residual < 2e-6, "residual {:.3e}", res.residual);
 }
 
@@ -167,8 +167,8 @@ fn chebyshev_preconditioner_accelerates_cg() {
         rel_tol: 1e-6,
         precond: Some(Box::new(SolverConfig::Chebyshev { degree: 4, eig_ratio: 30.0 })),
     };
-    let r1 = solve(a.clone(), &b, &plain, &opts(4));
-    let r2 = solve(a, &b, &cheb, &opts(4));
+    let r1 = solve_or_panic(a.clone(), &b, &plain, &opts(4));
+    let r2 = solve_or_panic(a, &b, &cheb, &opts(4));
     assert!(r2.residual < 2e-6, "residual {:.3e}", r2.residual);
     assert!(r2.iterations < r1.iterations, "cheb {} vs plain {}", r2.iterations, r1.iterations);
 }
@@ -181,7 +181,7 @@ fn rcm_reordered_system_solves_identically() {
     let a = Rc::new(a0.permute_symmetric(&perm));
     let b0 = gen::random_vector(60, 2);
     let b: Vec<f64> = perm.iter().map(|&old| b0[old]).collect();
-    let res = solve(a, &b, &bicgstab_ilu(200, 1e-6), &opts(3));
+    let res = solve_or_panic(a, &b, &bicgstab_ilu(200, 1e-6), &opts(3));
     assert!(res.residual < 2e-6, "residual {:.3e}", res.residual);
     // Un-permute and check against the original system.
     let mut x0 = vec![0.0; 60];
@@ -203,6 +203,6 @@ fn geometric_partition_option_is_honoured() {
     let part = Partition::grid_3d(Grid3 { nx: 8, ny: 8, nz: 8 }, 2, 2, 2);
     let o =
         SolveOptions { model: IpuModel::tiny(8), partition: Some(part), ..SolveOptions::default() };
-    let res = solve(a, &b, &bicgstab_ilu(300, 1e-6), &o);
+    let res = solve_or_panic(a, &b, &bicgstab_ilu(300, 1e-6), &o);
     assert!(res.residual < 2e-6);
 }

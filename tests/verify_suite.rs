@@ -22,6 +22,9 @@ use verify::invariants::{
     assert_deterministic, assert_executor_equivalence, audit_exchange_conservation,
 };
 use verify::plan_equiv::assert_plan_equivalence;
+use verify::resilience::{
+    assert_fault_trichotomy, assert_faulted_determinism, assert_zero_overhead_when_off,
+};
 
 // ---- differential suite, sharded for test-runner parallelism ----------
 
@@ -127,6 +130,48 @@ fn plans_are_equivalent_across_suite() {
             case.name
         );
     }
+}
+
+// ---- fault-injection resilience ---------------------------------------
+
+/// Under seeded single-fault plans the outcome is exactly one of
+/// {converged, recovered, structured error} — the accepted residual is
+/// recomputed independently in f64, so a silently-corrupted answer cannot
+/// pass. Case count scales with `GRAPHENE_VERIFY_CASES`.
+#[test]
+fn seeded_faults_never_yield_silently_wrong_answers() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    let cfg = SolverConfig::BiCgStab {
+        max_iters: 200,
+        rel_tol: 1e-6,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    let cases = verify::cases_from_env(12) as u64;
+    let rep = assert_fault_trichotomy(a, &b, &cfg, 1e-6, 1..=cases);
+    assert_eq!(rep.cases as u64, cases);
+    assert!(rep.faults_fired > 0, "sweep never fired a fault: {rep:?}");
+}
+
+/// A faulted solve replays bit-identically across runs and across both
+/// host executors, and the machinery costs nothing when off.
+#[test]
+fn faulted_solves_are_deterministic_and_free_when_off() {
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    let cfg = SolverConfig::BiCgStab {
+        max_iters: 200,
+        rel_tol: 1e-6,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    assert_faulted_determinism(
+        a.clone(),
+        &b,
+        &cfg,
+        "seed=5;n=2;classes=flip+xflip+xdrop+stall;smax=250;wmax=16",
+    );
+    assert_faulted_determinism(a.clone(), &b, &cfg, "flip@s60.t1:w5.b30;stall@s10.t0:c500");
+    assert_zero_overhead_when_off(a, &b, &cfg);
 }
 
 #[test]
