@@ -202,11 +202,13 @@ pub fn measure_spmv_with_partition(
     let trace_path = profile::next_trace_path();
     if trace_path.is_some() {
         engine.set_trace(profile::TraceRecorder::new());
+        engine.enable_perf();
     }
     sys.upload(&mut engine);
     engine.run();
     if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
-        profile::write_trace_artifacts(path, trace, engine.stats(), 12);
+        let perf = engine.perf_report(12);
+        profile::write_trace_artifacts(path, trace, engine.stats(), perf.as_ref(), 12);
     }
     let stats = engine.stats();
     SpmvMeasurement {

@@ -23,7 +23,7 @@ use dsl::prelude::*;
 use graph::{ExecutorKind, FaultState};
 use ipu_sim::clock::CycleStats;
 use ipu_sim::fault::FaultPlan;
-use profile::{DetectionRecord, Resilience, SolveReport, TraceRecorder};
+use profile::{DetectionRecord, PerfReport, Resilience, SolveReport, TraceRecorder};
 use sparse::formats::CsrMatrix;
 use sparse::partition::Partition;
 
@@ -142,6 +142,9 @@ struct Attempt {
     snapshot_global: Option<Vec<f64>>,
     checkpoints: u64,
     checkpoint_cycles: u64,
+    /// Per-step performance attribution (absent under the legacy
+    /// interpreter, which has no plan step ids).
+    perf: Option<PerfReport>,
 }
 
 /// What the post-attempt judge decided.
@@ -285,6 +288,25 @@ pub fn solve(
                 report.executor = att.executor.clone();
                 report.history = att.history.clone();
                 report.compile = Some(att.compile.clone());
+                report.perf = att.perf.clone().map(|mut p| {
+                    // Host-side solve metrics live in the perf section's
+                    // registry; device attribution stays deterministic
+                    // (see `PerfReport::attribution_json`).
+                    let m = &mut p.metrics;
+                    m.counter_add("solve.attempts", attempts as u64);
+                    m.counter_add("solve.restarts", restarts_total as u64);
+                    m.counter_add("solve.degradations", degradations.len() as u64);
+                    m.counter_add("solve.detections", detections.len() as u64);
+                    m.counter_add("solve.checkpoints", checkpoints_total);
+                    m.gauge_set("solve.iterations", att.iterations as f64);
+                    m.gauge_set("solve.final_residual", att.residual);
+                    m.observe(
+                        "solve.host_seconds",
+                        &[1e-3, 1e-2, 1e-1, 1.0, 10.0],
+                        att.host_seconds,
+                    );
+                    p
+                });
                 if stamp {
                     report.resilience = Some(Resilience {
                         status: status.name().to_string(),
@@ -498,6 +520,12 @@ fn run_attempt(
     if let Some(legacy) = opts.legacy_interpreter {
         engine.set_legacy_interpreter(legacy);
     }
+    // Per-step performance attribution rides along with every planned
+    // run: pure host-side bookkeeping, zero device cycles. The legacy
+    // tree-walker has no step ids to attribute to.
+    if !engine.legacy_interpreter() {
+        engine.enable_perf();
+    }
     // Hand the (cross-attempt) fault state to this attempt's engine.
     engine.set_fault_state(fault_state.take());
     // Tracing is opt-in via GRAPHENE_TRACE=<path>: record a timeline
@@ -518,8 +546,9 @@ fn run_attempt(
     let host_start = Instant::now();
     engine.run();
     let host_seconds = host_start.elapsed().as_secs_f64();
+    let perf = engine.perf_report(12);
     if let (Some(path), Some(trace)) = (&trace_path, engine.trace()) {
-        let report = profile::write_trace_artifacts(path, trace, engine.stats(), 12);
+        let report = profile::write_trace_artifacts(path, trace, engine.stats(), perf.as_ref(), 12);
         eprint!("{report}");
     }
     // Take the fault state back (fired flags + event log) for the next
@@ -566,6 +595,7 @@ fn run_attempt(
         checkpoints: checkpointer.as_ref().map(|c| c.count()).unwrap_or(0),
         checkpoint_cycles,
         stats,
+        perf,
     })
 }
 

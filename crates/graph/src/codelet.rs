@@ -552,6 +552,12 @@ pub struct Interp<'a, 'b> {
     pub params: &'a mut [ParamData<'b>],
     pub locals: Vec<Value>,
     pub cycles: u64,
+    /// Useful floating-point operations performed (logical flops — a
+    /// double-word add counts one). Work counters, not time: `ParFor`
+    /// shrinks `cycles` but leaves these untouched.
+    pub flops: u64,
+    /// Bytes moved to/from tile SRAM by element loads and stores.
+    pub mem_bytes: u64,
     /// Worker threads available to `ParFor` (6 on the Mk2).
     pub workers: u64,
 }
@@ -563,7 +569,15 @@ impl<'a, 'b> Interp<'a, 'b> {
         num_locals: usize,
         workers: u64,
     ) -> Self {
-        Interp { cost, params, locals: vec![Value::I32(0); num_locals], cycles: 0, workers }
+        Interp {
+            cost,
+            params,
+            locals: vec![Value::I32(0); num_locals],
+            cycles: 0,
+            flops: 0,
+            mem_bytes: 0,
+            workers,
+        }
     }
 
     fn eval(&mut self, e: &Expr) -> Value {
@@ -575,6 +589,7 @@ impl<'a, 'b> Interp<'a, 'b> {
                 let i = self.eval(index).as_i64() as usize;
                 let v = self.params[*param].get(i);
                 self.cycles += self.cost.op_cycles(Op::Load, v.dtype());
+                self.mem_bytes += v.dtype().size_bytes() as u64;
                 v
             }
             Expr::Unary { op, arg } => {
@@ -587,6 +602,7 @@ impl<'a, 'b> Interp<'a, 'b> {
                     UnOp::Not => Op::Cmp,
                 };
                 self.cycles += self.cost.op_cycles(cost_op, dt);
+                self.flops += self.cost.op_flops(cost_op, dt);
                 v
             }
             Expr::Binary { op, lhs, rhs } => {
@@ -603,6 +619,7 @@ impl<'a, 'b> Interp<'a, 'b> {
                 } else {
                     self.cost.op_cycles(op.cost_op(), dt)
                 };
+                self.flops += self.cost.op_flops(op.cost_op(), dt);
                 v
             }
             Expr::Convert { to, arg } => {
@@ -642,6 +659,7 @@ impl<'a, 'b> Interp<'a, 'b> {
                 let dt = self.params[*param].get(i).dtype();
                 self.params[*param].set(i, v.convert(dt));
                 self.cycles += self.cost.op_cycles(Op::Store, dt);
+                self.mem_bytes += dt.size_bytes() as u64;
             }
             Stmt::If { cond, then, otherwise } => {
                 let c = self.eval(cond).as_bool();
@@ -755,6 +773,36 @@ mod tests {
         );
         assert_eq!(y, [12.0, 24.0, 36.0]);
         assert!(cycles > 0);
+    }
+
+    /// Flop/byte counters measure *work*, so `ParFor` must leave them
+    /// untouched even though it shrinks the cycle makespan.
+    #[test]
+    fn flop_and_byte_counters_are_work_not_time() {
+        let c = axpy_codelet();
+        c.validate().unwrap();
+        let cost = cm();
+        let mut x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        let mut a = [2.0f32];
+        let mut params = [ParamData::F32(&mut x), ParamData::F32(&mut y), ParamData::F32(&mut a)];
+        let mut interp = Interp::new(&cost, &mut params, c.num_locals, 6);
+        interp.run(&c.body);
+        // 3 iterations × (mul + add) = 6 flops; 3 × (3 loads + 1 store) × 4 B.
+        assert_eq!(interp.flops, 6);
+        assert_eq!(interp.mem_bytes, 48);
+
+        // Same codelet with one worker: more cycles, identical work.
+        let mut x1 = [1.0f32, 2.0, 3.0];
+        let mut y1 = [10.0f32, 20.0, 30.0];
+        let mut a1 = [2.0f32];
+        let mut params1 =
+            [ParamData::F32(&mut x1), ParamData::F32(&mut y1), ParamData::F32(&mut a1)];
+        let mut serial = Interp::new(&cost, &mut params1, c.num_locals, 1);
+        serial.run(&c.body);
+        assert!(serial.cycles >= interp.cycles);
+        assert_eq!(serial.flops, interp.flops);
+        assert_eq!(serial.mem_bytes, interp.mem_bytes);
     }
 
     #[test]

@@ -48,6 +48,7 @@ use ipu_sim::cost::DType;
 use ipu_sim::exchange::ExchangeProgram;
 use ipu_sim::fault::{Fault, FaultEvent, FaultKind, FaultPlan};
 use ipu_sim::model::TileId;
+use profile::perf::{PerfRecorder, PerfReport};
 use profile::{CompileReport, TraceRecorder};
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
 
@@ -299,6 +300,10 @@ pub struct Engine {
     /// path untouched: execution, stats and traces are bit-identical to an
     /// engine built before this field existed.
     faults: Option<FaultState>,
+    /// Optional per-plan-step performance recorder, driven in lock-step
+    /// with `stats`. Purely observational: it never reads or advances the
+    /// clock, so device cycle totals are identical with or without it.
+    perf: Option<PerfRecorder>,
 }
 
 impl Engine {
@@ -333,7 +338,35 @@ impl Engine {
             trace: None,
             options,
             faults: None,
+            perf: None,
         })
+    }
+
+    /// Attach a fresh per-step performance recorder sized to this engine's
+    /// plan and machine; subsequent `run()` calls attribute every cycle
+    /// charge to its `StepId`. No effect on device cycles. The legacy
+    /// interpreter has no plan steps and records nothing.
+    pub fn enable_perf(&mut self) {
+        self.perf = Some(PerfRecorder::new(self.plan.steps.len(), self.graph.model.num_tiles()));
+    }
+
+    /// Detach and return the perf recorder, if any.
+    pub fn take_perf(&mut self) -> Option<PerfRecorder> {
+        self.perf.take()
+    }
+
+    /// The attached perf recorder, if any.
+    pub fn perf(&self) -> Option<&PerfRecorder> {
+        self.perf.as_ref()
+    }
+
+    /// Assemble the perf section from the attached recorder plus the
+    /// plan's static step metadata. `None` when no recorder is attached.
+    pub fn perf_report(&self, top_k: usize) -> Option<PerfReport> {
+        let rec = self.perf.as_ref()?;
+        let metas = crate::perf::build_step_metas(&self.plan);
+        let peak = self.graph.cost.peak_flops_per_cycle(self.graph.model.workers_per_tile as u64);
+        Some(PerfReport::build(&metas, rec, peak, top_k))
     }
 
     /// Arm a fault plan: resolve it against this engine's tile count and
@@ -486,6 +519,7 @@ impl Engine {
             trace: &mut self.trace,
             opts,
             faults: &mut self.faults,
+            perf: &mut self.perf,
         };
         if opts.legacy_interpreter {
             let program = self.program.clone();
@@ -514,6 +548,7 @@ struct ExecCtx<'a> {
     trace: &'a mut Option<TraceRecorder>,
     opts: EngineOptions,
     faults: &'a mut Option<FaultState>,
+    perf: &'a mut Option<PerfRecorder>,
 }
 
 impl ExecCtx<'_> {
@@ -525,11 +560,11 @@ impl ExecCtx<'_> {
             PlanStep::Seq(children) => {
                 children.iter().for_each(|&c| self.exec_step(plan, c));
             }
-            PlanStep::Execute(es) => self.execute_planned(es),
+            PlanStep::Execute(es) => self.execute_planned(Some(id), es),
             PlanStep::Exchange(phases) => {
-                phases.iter().for_each(|ph| self.exchange_planned(ph));
+                phases.iter().for_each(|ph| self.exchange_planned(Some(id), ph));
             }
-            PlanStep::Copy(cp) => self.copy_planned(cp),
+            PlanStep::Copy(cp) => self.copy_planned(Some(id), cp),
             PlanStep::Repeat(n, body) => {
                 for _ in 0..*n {
                     self.exec_step(plan, *body);
@@ -539,7 +574,7 @@ impl ExecCtx<'_> {
                 // A control-flow decision synchronises all tiles; both
                 // branches must leave the label stack balanced.
                 let depth = self.stats.label_depth();
-                self.record_sync(*sync_cycles);
+                self.record_sync(Some(id), *sync_cycles);
                 if self.read_pred(*pred) {
                     self.exec_step(plan, *then);
                 } else {
@@ -555,7 +590,7 @@ impl ExecCtx<'_> {
                 let depth = self.stats.label_depth();
                 loop {
                     self.exec_step(plan, *cond);
-                    self.record_sync(*sync_cycles);
+                    self.record_sync(Some(id), *sync_cycles);
                     if !self.read_pred(*pred) {
                         break;
                     }
@@ -599,15 +634,15 @@ impl ExecCtx<'_> {
             Prog::Seq(steps) => steps.iter().for_each(|s| self.exec(s)),
             Prog::Execute(cs) => {
                 let es = passes::plan_execute(self.graph, *cs);
-                self.execute_planned(&es);
+                self.execute_planned(None, &es);
             }
             Prog::Exchange(ex) => {
                 let ph = passes::plan_exchange(self.graph, ex);
-                self.exchange_planned(&ph);
+                self.exchange_planned(None, &ph);
             }
             Prog::Copy { src, dst } => {
                 let cp = passes::plan_copy(self.graph, *src, *dst);
-                self.copy_planned(&cp);
+                self.copy_planned(None, &cp);
             }
             Prog::Repeat(n, body) => {
                 for _ in 0..*n {
@@ -618,7 +653,7 @@ impl ExecCtx<'_> {
                 // A control-flow decision synchronises all tiles; both
                 // branches must leave the label stack balanced.
                 let depth = self.stats.label_depth();
-                self.record_sync(self.graph.cost.sync_on_chip_cycles);
+                self.record_sync(None, self.graph.cost.sync_on_chip_cycles);
                 if self.read_pred(*pred) {
                     self.exec(then);
                 } else {
@@ -634,7 +669,7 @@ impl ExecCtx<'_> {
                 let depth = self.stats.label_depth();
                 loop {
                     self.exec(cond);
-                    self.record_sync(self.graph.cost.sync_on_chip_cycles);
+                    self.record_sync(None, self.graph.cost.sync_on_chip_cycles);
                     if !self.read_pred(*pred) {
                         break;
                     }
@@ -680,27 +715,45 @@ impl ExecCtx<'_> {
     }
 
     /// Record a sync barrier into the stats and the trace, keeping both
-    /// clocks in lock-step.
-    fn record_sync(&mut self, cycles: u64) {
+    /// clocks in lock-step. `step` attributes the charge to a plan step
+    /// for the perf recorder; the legacy interpreter has no step ids and
+    /// passes `None`.
+    fn record_sync(&mut self, step: Option<StepId>, cycles: u64) {
         self.stats.record_sync(cycles);
         if let Some(t) = self.trace.as_mut() {
             t.sync(cycles);
         }
+        if let (Some(p), Some(id)) = (self.perf.as_mut(), step) {
+            p.record_sync(id, cycles);
+        }
     }
 
     /// Record an exchange phase (time + volume) into the stats and trace.
-    fn record_exchange(&mut self, name: &str, program: &ExchangeProgram, cycles: u64) {
+    fn record_exchange(
+        &mut self,
+        step: Option<StepId>,
+        name: &str,
+        program: &ExchangeProgram,
+        cycles: u64,
+    ) {
         self.stats.record_exchange(cycles);
         self.stats.record_exchange_bytes(program.total_bytes() as u64);
         if let Some(t) = self.trace.as_mut() {
             t.exchange(name, cycles, program.total_bytes() as u64, program.num_regions());
         }
+        if let (Some(p), Some(id)) = (self.perf.as_mut(), step) {
+            let (on_chip, link) = crate::perf::split_bytes_by_link(program, &self.graph.model);
+            p.record_exchange(id, cycles, on_chip, link);
+        }
     }
 
     /// Record a compute superstep into the stats and trace.
-    fn record_compute(&mut self, name: &str, per_tile: Vec<(TileId, u64)>) {
+    fn record_compute(&mut self, step: Option<StepId>, name: &str, per_tile: Vec<(TileId, u64)>) {
         if let Some(t) = self.trace.as_mut() {
             t.compute(name, &per_tile);
+        }
+        if let (Some(p), Some(id)) = (self.perf.as_mut(), step) {
+            p.record_compute(id, &per_tile);
         }
         self.stats.record_compute(per_tile);
     }
@@ -712,12 +765,12 @@ impl ExecCtx<'_> {
     /// tile id, so the recorded stats and trace events are identical
     /// whichever executor ran and whatever the host's thread or
     /// hash-iteration order was.
-    fn execute_planned(&mut self, es: &ExecuteStep) {
+    fn execute_planned(&mut self, step: Option<StepId>, es: &ExecuteStep) {
         let cs = &self.graph.compute_sets[es.cs];
         if !es.bcast.is_empty() {
-            self.record_exchange(&es.bcast_name, &es.bcast, es.bcast_cycles);
+            self.record_exchange(step, &es.bcast_name, &es.bcast, es.bcast_cycles);
         }
-        self.record_sync(es.sync_cycles);
+        self.record_sync(step, es.sync_cycles);
         if self.faults.is_some() {
             // Fault hooks run on the engine thread before the vertex
             // executors fan out, so the perturbed state (and hence every
@@ -726,16 +779,23 @@ impl ExecCtx<'_> {
         }
 
         let bases = TensorBases::new(self.storage);
-        let per_tile: Vec<(TileId, u64)> = match self.opts.executor {
+        // Per-tile cycles plus the superstep's total work counters
+        // (flops/bytes are tile-order independent sums, so both executors
+        // produce the same integers).
+        let (per_tile, flops, mem_bytes): (Vec<(TileId, u64)>, u64, u64) = match self.opts.executor
+        {
             ExecutorKind::Sequential => {
                 // Program order, not tile order: hazardous programs
                 // accepted sequentially are order-dependent.
                 let mut acc: BTreeMap<TileId, u64> = BTreeMap::new();
+                let (mut flops, mut mem) = (0u64, 0u64);
                 for v in &cs.vertices {
-                    let cycles = run_vertex(self.graph, &bases, v);
-                    *acc.entry(v.tile).or_insert(0) += cycles;
+                    let run = run_vertex(self.graph, &bases, v);
+                    *acc.entry(v.tile).or_insert(0) += run.cycles;
+                    flops += run.flops;
+                    mem += run.mem_bytes;
                 }
-                acc.into_iter().collect()
+                (acc.into_iter().collect(), flops, mem)
             }
             ExecutorKind::Parallel => {
                 // The plan's tile groups preserve each tile's vertex order
@@ -749,12 +809,26 @@ impl ExecCtx<'_> {
                 let bases = &bases;
                 let work: Vec<(TileId, &[usize])> =
                     es.tile_groups.iter().map(|(t, ids)| (*t, ids.as_slice())).collect();
-                rayon::par_chunks_map(work, self.opts.threads, move |(tile, ids)| {
-                    (
-                        tile,
-                        ids.iter().map(|&i| run_vertex(graph, bases, &cs.vertices[i])).sum::<u64>(),
-                    )
-                })
+                let runs = rayon::par_chunks_map(work, self.opts.threads, move |(tile, ids)| {
+                    let (mut cycles, mut flops, mut mem) = (0u64, 0u64, 0u64);
+                    for &i in ids {
+                        let run = run_vertex(graph, bases, &cs.vertices[i]);
+                        cycles += run.cycles;
+                        flops += run.flops;
+                        mem += run.mem_bytes;
+                    }
+                    (tile, cycles, flops, mem)
+                });
+                let (mut flops, mut mem) = (0u64, 0u64);
+                let per_tile = runs
+                    .into_iter()
+                    .map(|(t, c, f, m)| {
+                        flops += f;
+                        mem += m;
+                        (t, c)
+                    })
+                    .collect();
+                (per_tile, flops, mem)
             }
         };
         let per_tile = if self.faults.is_some() {
@@ -762,7 +836,10 @@ impl ExecCtx<'_> {
         } else {
             per_tile
         };
-        self.record_compute(&es.name, per_tile);
+        if let (Some(p), Some(id)) = (self.perf.as_mut(), step) {
+            p.record_flops(id, flops, mem_bytes);
+        }
+        self.record_compute(step, &es.name, per_tile);
         if let Some(f) = self.faults.as_mut() {
             f.superstep += 1;
         }
@@ -770,9 +847,9 @@ impl ExecCtx<'_> {
 
     /// Replay one precomputed exchange phase: barrier, fabric cost, then
     /// the element copies against host storage.
-    fn exchange_planned(&mut self, ph: &ExchangePhase) {
-        self.record_sync(ph.sync_cycles);
-        self.record_exchange(&ph.name, &ph.program, ph.cycles);
+    fn exchange_planned(&mut self, step: Option<StepId>, ph: &ExchangePhase) {
+        self.record_sync(step, ph.sync_cycles);
+        self.record_exchange(step, &ph.name, &ph.program, ph.cycles);
         if self.faults.is_some() {
             self.exchange_with_faults(ph);
             return;
@@ -785,13 +862,16 @@ impl ExecCtx<'_> {
     /// Replay one precomputed whole-tensor copy: worker-parallel memcpy
     /// cycles per tile, then the data movement (self-copies cost the same
     /// but move nothing).
-    fn copy_planned(&mut self, cp: &CopyStep) {
+    fn copy_planned(&mut self, step: Option<StepId>, cp: &CopyStep) {
         let per_tile = if self.faults.is_some() {
             self.apply_stall_faults(&cp.name, cp.per_tile.clone())
         } else {
             cp.per_tile.clone()
         };
-        self.record_compute(&cp.name, per_tile);
+        if let (Some(p), Some(id)) = (self.perf.as_mut(), step) {
+            p.record_flops(id, 0, crate::perf::copy_mem_bytes(self.graph, cp.src, cp.dst));
+        }
+        self.record_compute(step, &cp.name, per_tile);
         if cp.src != cp.dst {
             let (a, b) = index_two(self.storage, cp.src, cp.dst);
             copy_all(a, b);
@@ -1156,10 +1236,20 @@ fn params_from_bases<'a>(
         .collect()
 }
 
+/// One vertex's dynamic footprint: BSP time plus the *work* counters
+/// (logical flops, SRAM traffic) the roofline analysis needs. Cycles are
+/// time (worker-parallel constructs shrink them); flops/bytes are work
+/// (parallelism leaves them unchanged).
+struct VertexRun {
+    cycles: u64,
+    flops: u64,
+    mem_bytes: u64,
+}
+
 /// Interpret one vertex and return its cycle count. Free of engine state
 /// so both executors share it verbatim — a vertex's result depends only
 /// on the graph, the storage it reads and its own operands.
-fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> u64 {
+fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> VertexRun {
     let codelet = &graph.codelets[v.codelet];
     let cost = &graph.cost;
     let workers = graph.model.workers_per_tile as u64;
@@ -1167,7 +1257,8 @@ fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> u64 {
     match &v.kind {
         VertexKind::Simple => {
             let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
-            interp.run(&codelet.body)
+            let cycles = interp.run(&codelet.body);
+            VertexRun { cycles, flops: interp.flops, mem_bytes: interp.mem_bytes }
         }
         VertexKind::LevelSet { levels } => {
             let mut interp = Interp::new(cost, &mut params, codelet.num_locals, workers);
@@ -1184,7 +1275,8 @@ fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> u64 {
                 ipu_sim::threading::LevelSchedule::build(levels, workers as usize, |i| {
                     row_cost[&i]
                 });
-            schedule.cycles(|i| row_cost[&i], cost)
+            let cycles = schedule.cycles(|i| row_cost[&i], cost);
+            VertexRun { cycles, flops: interp.flops, mem_bytes: interp.mem_bytes }
         }
     }
 }

@@ -26,6 +26,7 @@ pub mod compute;
 pub mod engine;
 pub mod graph;
 pub mod passes;
+pub mod perf;
 pub mod plan;
 pub mod program;
 pub mod tensor;

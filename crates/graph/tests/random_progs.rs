@@ -12,10 +12,11 @@
 
 use graph::codelet::{BinOp, Codelet, Expr, ParamDecl, Stmt, Value};
 use graph::compute::{ComputeSet, TensorSlice, Vertex, VertexKind};
+use graph::engine::EngineOptions;
 use graph::graph::Graph;
 use graph::program::{ElemCopy, ExchangeStep, Prog};
 use graph::tensor::{TensorDef, TensorId};
-use graph::{CompileOptions, Engine};
+use graph::{CompileOptions, Engine, ExecutorKind};
 use ipu_sim::cost::DType;
 use ipu_sim::model::IpuModel;
 use proptest::TestRng;
@@ -232,6 +233,74 @@ fn random_trees_execute_identically_in_all_three_modes() {
         let legacy = run_mode(&f, &prog, true, true);
         assert_eq!(opt, noopt, "optimised vs unoptimised diverged (seed {seed}): {prog:?}");
         assert_eq!(opt, legacy, "plan vs legacy interpreter diverged (seed {seed}): {prog:?}");
+    }
+}
+
+/// Run `prog` under an explicit executor with the perf recorder armed and
+/// return `(device_cycles, perf steps total, attribution JSON)`.
+fn run_perf(
+    f: &Fixture,
+    prog: &Prog,
+    optimise: bool,
+    executor: ExecutorKind,
+) -> (u64, u64, String) {
+    let exec = f
+        .graph
+        .clone()
+        .compile_with(prog.clone(), CompileOptions { optimise })
+        .expect("random program must validate");
+    let opts = EngineOptions { executor, ..EngineOptions::default() };
+    let mut e = Engine::with_options(exec, opts).expect("fixture graph is hazard-free");
+    e.enable_perf();
+    for (k, cb) in [(0usize, 10.0f64), (1, 100.0)] {
+        e.register_callback(
+            k,
+            Box::new(move |view: &mut graph::engine::HostView<'_>| {
+                let mut v = view.read_f64(0);
+                v[0] += cb;
+                view.write_f64(0, &v);
+            }),
+        );
+    }
+    for (i, t) in f.data.iter().enumerate() {
+        let vals: Vec<f64> = (0..8).map(|j| (i as f64 + 1.0) * 0.5 + j as f64).collect();
+        e.write_tensor(*t, &vals);
+    }
+    e.write_tensor(f.y, &[0.0; 4]);
+    e.write_scalar(f.s, 7.5);
+    e.write_scalar(f.pred_false, 0.0);
+    e.write_scalar(f.pred_true, 1.0);
+    e.run();
+    let report = e.perf_report(8).expect("perf recorder was armed");
+    (e.stats().device_cycles(), report.steps_total(), report.attribution_json())
+}
+
+/// Per-step attribution is exact and executor-independent: the per-step
+/// cycle totals partition `device_cycles` with no remainder (for both the
+/// optimised and unoptimised plan), and the whole attribution section —
+/// steps, bytes, flops, imbalance, speed-of-light — is bit-identical
+/// whether the sequential or the parallel host executor replayed the plan.
+#[test]
+fn random_trees_perf_attribution_partitions_cycles_and_is_executor_independent() {
+    let f = fixture();
+    for seed in 0..32u64 {
+        let mut rng = TestRng::seed_from_u64(0x9e4f_0000 + seed);
+        let prog = gen_prog(&mut rng, &f, 4);
+        for optimise in [true, false] {
+            let (seq_cycles, seq_total, seq_json) =
+                run_perf(&f, &prog, optimise, ExecutorKind::Sequential);
+            assert_eq!(
+                seq_total, seq_cycles,
+                "per-step cycles must partition device_cycles (seed {seed}, optimise {optimise}): {prog:?}"
+            );
+            let (par_cycles, par_total, par_json) =
+                run_perf(&f, &prog, optimise, ExecutorKind::Parallel);
+            assert_eq!(par_total, par_cycles, "partition broke under the parallel executor");
+            assert_eq!(
+                seq_json, par_json,
+                "attribution diverged across executors (seed {seed}, optimise {optimise}): {prog:?}"
+            );
+        }
     }
 }
 

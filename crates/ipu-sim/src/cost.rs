@@ -175,6 +175,32 @@ impl CostModel {
         }
     }
 
+    /// Useful floating-point operations one logical `op` performs —
+    /// independent of the precision family, so a double-word add counts
+    /// as one flop even though it retires ~20 instructions. Rooflines
+    /// and achieved-vs-peak comparisons are only meaningful over *useful*
+    /// work; the emulation overhead shows up as cycles, not flops.
+    /// Non-arithmetic ops (compares, sign ops, moves) count zero.
+    pub fn op_flops(&self, op: Op, dtype: DType) -> u64 {
+        if !dtype.is_float() {
+            return 0;
+        }
+        match op {
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Sqrt => 1,
+            Op::Fma => 2,
+            _ => 0,
+        }
+    }
+
+    /// Peak f32 throughput of one tile in flops per cycle: `workers`
+    /// pipelines each retiring one FMA (2 flops) every
+    /// `op_cycles(Fma, F32)` cycles. The roofline ceiling the perf
+    /// reports compare achieved throughput against — self-consistent
+    /// with this cost model rather than quoting datasheet numbers.
+    pub fn peak_flops_per_cycle(&self, workers: u64) -> f64 {
+        workers as f64 * 2.0 / self.op_cycles(Op::Fma, DType::F32) as f64
+    }
+
     /// Cycles to move `bytes` through the on-chip fabric as one region.
     pub fn on_chip_region_cycles(&self, bytes: usize) -> u64 {
         self.region_overhead_cycles + (bytes as f64 / self.exchange_bytes_per_cycle).ceil() as u64

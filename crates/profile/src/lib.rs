@@ -24,16 +24,22 @@
 //! [`trace_path_from_env`] / [`report_dir_from_env`]).
 
 mod compile_report;
+pub mod metrics;
+pub mod perf;
 mod report;
 mod resilience;
 mod solve_report;
 mod trace;
 
 pub use compile_report::{CompileReport, PassStat};
+pub use metrics::{Histogram, Metrics};
+pub use perf::{PerfRecorder, PerfReport, SpeedOfLight, StepKind, StepMeta, StepReport};
 pub use report::text_report;
 pub use resilience::{DetectionRecord, Resilience};
-pub use solve_report::{CycleBreakdown, LabelEntry, SolveReport, TileUtil, UNLABELLED};
-pub use trace::{ExchangeRecord, Lane, TraceEvent, TraceRecorder};
+pub use solve_report::{
+    CycleBreakdown, LabelEntry, SolveReport, TileUtil, SCHEMA_VERSION, UNLABELLED,
+};
+pub use trace::{parse_tile_lanes, ExchangeRecord, Lane, TraceEvent, TraceRecorder};
 
 use std::path::PathBuf;
 
@@ -84,13 +90,18 @@ pub fn write_trace_artifacts(
     path: &std::path::Path,
     trace: &TraceRecorder,
     stats: &ipu_sim::clock::CycleStats,
+    perf: Option<&PerfReport>,
     top_k: usize,
 ) -> String {
     match trace.write_chrome_trace(path) {
         Ok(()) => eprintln!("[graphene] chrome trace written to {}", path.display()),
         Err(e) => eprintln!("[graphene] failed to write trace {}: {e}", path.display()),
     }
-    let report = text_report(stats, Some(trace), top_k);
+    let mut report = text_report(stats, Some(trace), top_k);
+    if let Some(p) = perf {
+        report.push('\n');
+        report.push_str(&p.render(top_k));
+    }
     let report_path = path.with_extension("report.txt");
     match std::fs::write(&report_path, &report) {
         Ok(()) => eprintln!("[graphene] profile report written to {}", report_path.display()),

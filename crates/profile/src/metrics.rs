@@ -1,0 +1,222 @@
+//! A dependency-free metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! This is the substrate the serving layer (ROADMAP item 3) will export —
+//! deliberately tiny, deterministic, and JSON-serialisable with the
+//! workspace's own `json` crate. `runner::solve` feeds it host-side
+//! observations (attempt latency, retries, checkpoints); nothing here
+//! touches device cycles.
+//!
+//! Names are free-form dotted strings (`"solve.attempts"`). Storage is
+//! `BTreeMap`, so iteration order — and therefore serialised output — is
+//! deterministic regardless of registration order.
+
+use json::Json;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `v ≤
+/// bounds[i]` (first matching bucket), with one implicit overflow bucket
+/// at the end, plus an exact running sum/count for mean recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow bucket:
+    /// `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Histogram {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.iter().position(|b| v <= *b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The registry. Cheap to clone, `Default` is empty.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Add `delta` to a monotonic counter (created at 0 on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Observe `v` into the named histogram, creating it with `bounds` on
+    /// first use (later calls ignore `bounds`).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // JSON
+    // ------------------------------------------------------------------
+
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect()),
+            ),
+            (
+                "gauges",
+                Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect()),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                Json::obj([
+                                    ("bounds", Json::arr(h.bounds.iter().map(|b| Json::from(*b)))),
+                                    ("counts", Json::arr(h.counts.iter().map(|c| Json::from(*c)))),
+                                    ("sum", Json::from(h.sum)),
+                                    ("count", Json::from(h.count)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_value(v: &Json) -> Result<Metrics, String> {
+        let mut m = Metrics::new();
+        if let Some(obj) = v.get("counters").and_then(Json::as_obj) {
+            for (k, c) in obj {
+                m.counters
+                    .insert(k.clone(), c.as_u64().ok_or_else(|| format!("bad counter '{k}'"))?);
+            }
+        }
+        if let Some(obj) = v.get("gauges").and_then(Json::as_obj) {
+            for (k, g) in obj {
+                m.gauges.insert(k.clone(), g.as_f64().ok_or_else(|| format!("bad gauge '{k}'"))?);
+            }
+        }
+        if let Some(obj) = v.get("histograms").and_then(Json::as_obj) {
+            for (k, h) in obj {
+                let bounds = h
+                    .get("bounds")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_f64).collect::<Vec<_>>())
+                    .ok_or_else(|| format!("bad histogram bounds '{k}'"))?;
+                let counts = h
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_u64).collect::<Vec<_>>())
+                    .ok_or_else(|| format!("bad histogram counts '{k}'"))?;
+                if counts.len() != bounds.len() + 1 {
+                    return Err(format!("histogram '{k}' bucket count mismatch"));
+                }
+                m.histograms.insert(
+                    k.clone(),
+                    Histogram {
+                        bounds,
+                        counts,
+                        sum: h.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
+                        count: h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    },
+                );
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = Metrics::new();
+        assert!(m.is_empty());
+        m.counter_add("solve.attempts", 1);
+        m.counter_add("solve.attempts", 2);
+        m.gauge_set("solve.iterations", 42.0);
+        m.gauge_set("solve.iterations", 43.0);
+        assert_eq!(m.counter("solve.attempts"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("solve.iterations"), Some(43.0));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut m = Metrics::new();
+        let bounds = [0.001, 0.01, 0.1];
+        for v in [0.0005, 0.002, 0.05, 0.5, 5.0] {
+            m.observe("host_seconds", &bounds, v);
+        }
+        let h = m.histogram("host_seconds").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 1, 2]);
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - 5.5525 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut m = Metrics::new();
+        m.counter_add("a", 7);
+        m.gauge_set("g", 2.5);
+        m.observe("h", &[1.0, 10.0], 3.0);
+        m.observe("h", &[1.0, 10.0], 30.0);
+        let back = Metrics::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        // Serialised output is deterministic: BTreeMap ordering.
+        assert_eq!(m.to_value().to_pretty(), back.to_value().to_pretty());
+    }
+}

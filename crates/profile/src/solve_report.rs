@@ -37,6 +37,7 @@
 //! `<unlabelled>` entry absorbs cycles recorded outside any label scope.
 
 use crate::compile_report::CompileReport;
+use crate::perf::PerfReport;
 use crate::resilience::Resilience;
 use ipu_sim::clock::{CycleStats, Phase};
 use json::Json;
@@ -44,6 +45,14 @@ use json::Json;
 /// Name of the implicit label bucket for cycles recorded outside any
 /// `Prog::Label` scope.
 pub const UNLABELLED: &str = "<unlabelled>";
+
+/// Current report schema version, serialised as `"schema"`. Version
+/// history: 1 (implicit — reports without the key) covers everything up
+/// to the resilience section; 2 adds the key itself and the optional
+/// `"perf"` performance-attribution section. All additions are
+/// backward-compatible: a v2 parser reads v1 reports (absent sections
+/// parse as `None`/defaults).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Totals of the engine's cycle accounting.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -87,6 +96,9 @@ pub struct TileUtil {
 /// One solve, profiled. See the module docs for the JSON schema.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolveReport {
+    /// Schema version this report was written with ([`SCHEMA_VERSION`]);
+    /// reports without the key parse as 1.
+    pub schema: u32,
     pub name: String,
     /// The solver configuration (`SolverConfig::to_value`), or `Null`.
     pub solver: Json,
@@ -116,6 +128,11 @@ pub struct SolveReport {
     /// without fault injection and for reports written before the
     /// resilience layer existed.
     pub resilience: Option<Resilience>,
+    /// Plan-aware performance attribution (per-step cycles, imbalance,
+    /// congestion, roofline, host metrics); `None` for reports written
+    /// before schema v2 and for runs that recorded no attribution (e.g.
+    /// the legacy tree-walking interpreter, which has no plan steps).
+    pub perf: Option<PerfReport>,
     /// Free-form extra fields, serialised under `"extra"`.
     pub extra: Vec<(String, Json)>,
 }
@@ -124,6 +141,7 @@ impl SolveReport {
     /// Empty report with only a name.
     pub fn new(name: impl Into<String>) -> SolveReport {
         SolveReport {
+            schema: SCHEMA_VERSION,
             name: name.into(),
             solver: Json::Null,
             n: 0,
@@ -140,6 +158,7 @@ impl SolveReport {
             tile_util: TileUtil::default(),
             compile: None,
             resilience: None,
+            perf: None,
             extra: Vec::new(),
         }
     }
@@ -195,6 +214,10 @@ impl SolveReport {
         let c = &self.cycles;
         let t = &self.tile_util;
         let mut pairs = vec![
+            // The version stamps the *writer*: re-serialising a parsed v1
+            // report emits the current schema, since the output now has
+            // the current document shape.
+            ("schema".to_string(), Json::from(SCHEMA_VERSION)),
             ("name".to_string(), Json::from(self.name.as_str())),
             ("solver".to_string(), self.solver.clone()),
             (
@@ -262,6 +285,9 @@ impl SolveReport {
         }
         if let Some(resilience) = &self.resilience {
             pairs.push(("resilience".to_string(), resilience.to_value()));
+        }
+        if let Some(perf) = &self.perf {
+            pairs.push(("perf".to_string(), perf.to_value()));
         }
         if !self.extra.is_empty() {
             pairs.push(("extra".to_string(), Json::Obj(self.extra.clone())));
@@ -336,6 +362,8 @@ impl SolveReport {
             .unwrap_or_default();
 
         Ok(SolveReport {
+            // Absent in reports written before the version was recorded.
+            schema: v.get("schema").and_then(Json::as_u64).unwrap_or(1) as u32,
             name: str_of(v, "name")?,
             solver: v.get("solver").cloned().unwrap_or(Json::Null),
             n: u64_of(matrix, "n")? as usize,
@@ -376,6 +404,8 @@ impl SolveReport {
             // Absent in healthy reports and all reports written before the
             // resilience layer existed.
             resilience: v.get("resilience").map(Resilience::from_value).transpose()?,
+            // Absent before schema v2 and in runs without attribution.
+            perf: v.get("perf").map(PerfReport::from_value).transpose()?,
             extra: v.get("extra").and_then(Json::as_obj).map(|o| o.to_vec()).unwrap_or_default(),
         })
     }
@@ -607,6 +637,51 @@ mod tests {
         }
         let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
         assert_eq!(parsed.resilience, None);
+        assert_eq!(parsed.cycles, r.cycles);
+    }
+
+    #[test]
+    fn schema_version_and_perf_round_trip() {
+        use crate::perf::{PerfRecorder, PerfReport, StepKind, StepMeta};
+        let mut r = SolveReport::new("t").with_stats(&sample_stats());
+        assert_eq!(r.schema, SCHEMA_VERSION);
+        // A report without a perf section has no "perf" key at all.
+        assert!(!r.to_json().contains("\"perf\""));
+        let metas = vec![
+            StepMeta::control(0),
+            StepMeta {
+                id: 1,
+                kind: StepKind::Execute,
+                name: "spmv".into(),
+                label: "cg".into(),
+                regions: 0,
+                max_fanout: 0,
+            },
+        ];
+        let mut rec = PerfRecorder::new(2, 4);
+        rec.record_sync(1, 150);
+        rec.record_compute(1, &[(0, 10), (1, 30)]);
+        rec.record_flops(1, 8, 64);
+        let mut perf = PerfReport::build(&metas, &rec, 2.0, 4);
+        perf.metrics.counter_add("solve.attempts", 1);
+        perf.metrics.observe("solve.host_seconds", &[0.01, 0.1], 0.05);
+        r.perf = Some(perf);
+        let back = SolveReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.schema, SCHEMA_VERSION);
+        let bp = back.perf.as_ref().unwrap();
+        assert_eq!(bp.steps_total(), rec.total_cycles());
+        assert_eq!(bp.metrics.counter("solve.attempts"), 1);
+
+        // A pre-v2 report (no "schema", no "perf") parses as schema 1 with
+        // perf None — backward compatible.
+        let mut legacy = r.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "schema" && k != "perf");
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.perf, None);
         assert_eq!(parsed.cycles, r.cycles);
     }
 

@@ -82,14 +82,24 @@ impl Default for TraceRecorder {
     }
 }
 
+/// Parse a `GRAPHENE_TRACE_TILES` value into a tile-lane cap:
+/// `None`/empty/unparseable → [`DEFAULT_TILE_LANES`], a number → that many
+/// lanes (`0` disables per-tile lanes entirely), `all` (case-insensitive)
+/// → one lane per tile, uncapped.
+pub fn parse_tile_lanes(v: Option<&str>) -> usize {
+    match v {
+        Some(s) if s.eq_ignore_ascii_case("all") => usize::MAX,
+        Some(s) => s.trim().parse().unwrap_or(DEFAULT_TILE_LANES),
+        None => DEFAULT_TILE_LANES,
+    }
+}
+
 impl TraceRecorder {
     /// New recorder; tile-lane cap taken from `GRAPHENE_TRACE_TILES` when
-    /// set, else [`DEFAULT_TILE_LANES`].
+    /// set (see [`parse_tile_lanes`]), else [`DEFAULT_TILE_LANES`].
     pub fn new() -> TraceRecorder {
-        let lanes = std::env::var("GRAPHENE_TRACE_TILES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_TILE_LANES);
+        let env = std::env::var("GRAPHENE_TRACE_TILES").ok();
+        let lanes = parse_tile_lanes(env.as_deref());
         TraceRecorder {
             tile_lanes: lanes,
             clock: 0,
@@ -300,7 +310,17 @@ impl TraceRecorder {
         events.push(meta("thread_name", PID_DEVICE, Some(TID_STEPS), "steps"));
         events.push(meta("thread_name", PID_DEVICE, Some(TID_LABELS), "labels"));
         events.push(meta("process_name", PID_TILES, None, "tiles"));
-        let mut tile_named = vec![false; self.tile_lanes];
+        // Sized by the highest tile lane actually recorded (not by the
+        // cap, which may be "all tiles" = usize::MAX).
+        let max_tile = self
+            .events
+            .iter()
+            .filter_map(|e| match e.lane {
+                Lane::Tile(t) => Some(t),
+                _ => None,
+            })
+            .max();
+        let mut tile_named = vec![false; max_tile.map_or(0, |t| t + 1)];
         for ev in &self.events {
             if let Lane::Tile(t) = ev.lane {
                 if t < tile_named.len() && !tile_named[t] {
@@ -333,6 +353,11 @@ impl TraceRecorder {
         slices.extend(synth.iter());
         slices.sort_by(|a, b| a.ts.cmp(&b.ts).then(b.dur.cmp(&a.dur)));
 
+        // Cumulative counter series (ph "C") derived from the sorted slice
+        // stream: exchange bytes and sync count over device time. Perfetto
+        // renders these as step graphs under the device process.
+        let mut cum_bytes = 0u64;
+        let mut cum_syncs = 0u64;
         for ev in slices {
             let (pid, tid) = match ev.lane {
                 Lane::Steps => (PID_DEVICE, TID_STEPS),
@@ -354,6 +379,35 @@ impl TraceRecorder {
                 ));
             }
             events.push(Json::Obj(pairs));
+            if ev.lane != Lane::Steps {
+                continue;
+            }
+            let phase = ev.args.iter().find(|(k, _)| *k == "phase").and_then(|(_, v)| v.as_str());
+            let counter = match phase {
+                Some("exchange") => {
+                    cum_bytes += ev
+                        .args
+                        .iter()
+                        .find(|(k, _)| *k == "bytes")
+                        .and_then(|(_, v)| v.as_u64())
+                        .unwrap_or(0);
+                    Some(("exchange bytes", Json::obj([("bytes", Json::from(cum_bytes))])))
+                }
+                Some("sync") => {
+                    cum_syncs += 1;
+                    Some(("syncs", Json::obj([("count", Json::from(cum_syncs))])))
+                }
+                _ => None,
+            };
+            if let Some((name, args)) = counter {
+                events.push(Json::obj([
+                    ("name", Json::from(name)),
+                    ("ph", Json::from("C")),
+                    ("ts", Json::from(ev.ts)),
+                    ("pid", Json::from(PID_DEVICE)),
+                    ("args", args),
+                ]));
+            }
         }
 
         Json::obj([
@@ -440,13 +494,65 @@ mod tests {
             assert!(ts >= last, "ts regressed: {ts} < {last}");
             last = ts;
             let ph = e.get("ph").unwrap().as_str().unwrap();
-            assert!(ph == "X" || ph == "M");
+            assert!(ph == "X" || ph == "M" || ph == "C");
             if ph == "X" {
                 assert!(e.get("dur").unwrap().as_u64().is_some());
             }
         }
         // Metadata names both processes.
         assert!(text.contains("\"device\"") && text.contains("\"tiles\""));
+    }
+
+    #[test]
+    fn counter_events_accumulate_exchange_bytes_and_syncs() {
+        let mut t = sample();
+        t.exchange("halo", 5, 100, 1);
+        let v = t.to_chrome_trace();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let bytes: Vec<u64> = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("C")
+                    && e.get("name").and_then(Json::as_str) == Some("exchange bytes")
+            })
+            .map(|e| e.get("args").unwrap().get("bytes").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(bytes, vec![512, 612]);
+        let syncs: Vec<u64> = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("C")
+                    && e.get("name").and_then(Json::as_str) == Some("syncs")
+            })
+            .map(|e| e.get("args").unwrap().get("count").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(syncs, vec![1]);
+    }
+
+    #[test]
+    fn tile_lane_cap_parses_from_env_values() {
+        assert_eq!(parse_tile_lanes(None), DEFAULT_TILE_LANES);
+        assert_eq!(parse_tile_lanes(Some("4")), 4);
+        assert_eq!(parse_tile_lanes(Some(" 32 ")), 32);
+        assert_eq!(parse_tile_lanes(Some("0")), 0);
+        assert_eq!(parse_tile_lanes(Some("all")), usize::MAX);
+        assert_eq!(parse_tile_lanes(Some("ALL")), usize::MAX);
+        assert_eq!(parse_tile_lanes(Some("nonsense")), DEFAULT_TILE_LANES);
+        assert_eq!(parse_tile_lanes(Some("")), DEFAULT_TILE_LANES);
+
+        // The parsed cap is respected by the recorder: a lane count of 2
+        // drops tiles ≥ 2, "all" keeps every tile, 0 keeps none.
+        let mut capped = TraceRecorder::new().with_tile_lanes(parse_tile_lanes(Some("2")));
+        capped.compute("cs", &[(0, 5), (1, 5), (2, 5), (9, 5)]);
+        assert!(capped.events().iter().any(|e| e.lane == Lane::Tile(1)));
+        assert!(capped.events().iter().all(|e| e.lane != Lane::Tile(2)));
+        let mut all = TraceRecorder::new().with_tile_lanes(parse_tile_lanes(Some("all")));
+        all.compute("cs", &[(0, 5), (9, 5)]);
+        assert!(all.events().iter().any(|e| e.lane == Lane::Tile(9)));
+        all.to_chrome_trace(); // uncapped lanes must not blow up serialisation
+        let mut none = TraceRecorder::new().with_tile_lanes(parse_tile_lanes(Some("0")));
+        none.compute("cs", &[(0, 5)]);
+        assert!(none.events().iter().all(|e| !matches!(e.lane, Lane::Tile(_))));
     }
 
     #[test]

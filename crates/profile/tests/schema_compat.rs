@@ -1,0 +1,57 @@
+//! Backward compatibility: solve reports written before schema v2 (the
+//! performance-attribution PR) must keep parsing forever.
+//!
+//! The fixture is a frozen, hand-verified report in the PR-5-era shape —
+//! no `"schema"` key, no `"perf"` section, but with the compile and
+//! resilience sections that existed by then. If a schema change ever
+//! breaks this test, the parser lost compatibility with every
+//! `results/*.json` artifact already on disk in the wild.
+
+use profile::{SolveReport, SCHEMA_VERSION, UNLABELLED};
+
+const FIXTURE: &str = include_str!("fixtures/pre_pr6_report.json");
+
+#[test]
+fn pre_pr6_report_parses_as_schema_v1() {
+    let r = SolveReport::from_json(FIXTURE).expect("frozen pre-PR-6 fixture must parse");
+
+    // Reports without a "schema" key are, by definition, version 1; the
+    // sections added in v2 parse as absent rather than erroring.
+    assert_eq!(r.schema, 1);
+    assert_eq!(r.perf, None);
+
+    // The v1 payload survives unchanged.
+    assert_eq!(r.name, "fig8/poisson2d-32");
+    assert_eq!(r.n, 1024);
+    assert_eq!(r.nnz, 4992);
+    assert_eq!(r.tiles, 32);
+    assert_eq!(r.iterations, 41);
+    assert_eq!(r.executor, "sequential");
+    assert_eq!(r.history.len(), 4);
+    assert_eq!(r.cycles.device, 887_040);
+    assert_eq!(r.cycles.supersteps, 1245);
+    assert_eq!(r.labels_total(), r.cycles.device, "label partition invariant");
+    assert!(r.labels.iter().any(|l| l.name == UNLABELLED));
+    let compile = r.compile.as_ref().expect("PR-4 compile section");
+    assert_eq!(compile.plan_steps, 161);
+    let res = r.resilience.as_ref().expect("PR-5 resilience section");
+    assert_eq!(res.attempts, 2);
+    assert!(res.detections[0].residual.is_nan(), "null residual parses as NaN");
+}
+
+#[test]
+fn reserializing_a_v1_report_stamps_the_current_schema() {
+    let r = SolveReport::from_json(FIXTURE).unwrap();
+    // Writing the report back emits the current schema version (the
+    // version records the writer, not the reader), and the round trip
+    // preserves everything but that stamp.
+    let back = SolveReport::from_json(&r.to_json()).unwrap();
+    assert_eq!(back.schema, SCHEMA_VERSION);
+    assert_eq!(back.cycles, r.cycles);
+    assert_eq!(back.labels, r.labels);
+    // The NaN detection residual defeats PartialEq; compare the section
+    // through its JSON (NaN serialises as null in both).
+    let res_json = |r: &SolveReport| r.resilience.as_ref().unwrap().to_value().to_pretty();
+    assert_eq!(res_json(&back), res_json(&r));
+    assert_eq!(back.perf, None);
+}

@@ -21,4 +21,8 @@ run "Fig 10"     fig10                     | tee results/fig10.txt
 run "Table IV"   table4                    | tee results/table4.txt
 run "Ablations"  ablations                 | tee results/ablations.txt
 run "Resilience" resilience                | tee results/resilience.txt
+run "Perf attribution" perf_attrib         | tee results/perf_attrib.txt
+# Aggregate every results/*.json artifact written above into
+# results/summary.json + a markdown table at results/summary.md.
+run "Summary"    summarize                 | tee results/summary.txt
 echo "all experiments done"
