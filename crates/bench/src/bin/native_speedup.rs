@@ -1,0 +1,191 @@
+//! **native_speedup** — host-dispatch speedup gate for the native
+//! fused-kernel executor (`ExecutorKind::Native`).
+//!
+//! Runs the fig8-class solve (IR-PBiCGStab+ILU(0) with double-word MPIR,
+//! the budget_check workload) under the sequential interpreter and under
+//! the native executor, and
+//!
+//! 1. asserts every device observable is identical (solution bits, device
+//!    cycles, exchanged bytes, superstep/sync counts, per-label splits) —
+//!    the native executor's bit-and-cycle-identity contract;
+//! 2. asserts the fig8 hot-op codelets actually fused (SpMV, the residual
+//!    SpMV, both triangular sweeps, at least one map and one reduction) —
+//!    a silent fallback would quietly forfeit the speedup;
+//! 3. gates on per-iteration host dispatch time: native must beat the
+//!    interpreter by at least `--min-speedup` (default 5).
+//!
+//! Output: a small table on stdout and `results/native_speedup.json`
+//! (override with `--out <path>`). `--scale <f>` grows the matrix,
+//! `--repeats <n>` takes the best of `n` timed runs per executor.
+
+use std::rc::Rc;
+
+use graph::ExecutorKind;
+use graphene_bench::{header, Args};
+use graphene_core::config::SolverConfig;
+use graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
+use graphene_core::solvers::ExtendedPrecision;
+use ipu_sim::model::IpuModel;
+use json::Json;
+use sparse::formats::CsrMatrix;
+use sparse::gen::suitesparse::by_name;
+
+fn fingerprint(r: &SolveResult) -> (Vec<u64>, u64, u64, u64, u64, Vec<(String, [u64; 3])>) {
+    (
+        r.x.iter().map(|v| v.to_bits()).collect(),
+        r.stats.device_cycles(),
+        r.stats.exchange_bytes(),
+        r.stats.supersteps(),
+        r.stats.sync_count(),
+        r.stats.labels_by_phase_sorted(),
+    )
+}
+
+/// Best-of-`repeats` host seconds for one executor (plus the last result —
+/// every repeat is bit-identical by construction).
+fn run(
+    kind: ExecutorKind,
+    a: Rc<CsrMatrix>,
+    b: &[f64],
+    cfg: &SolverConfig,
+    repeats: usize,
+) -> (SolveResult, f64) {
+    let opts = SolveOptions {
+        model: IpuModel::m2000(),
+        rows_per_tile: 32,
+        // Keep the residual monitor wired (as budget_check does) so
+        // `iterations` is the real count — per-iteration host dispatch is
+        // the number the gate compares.
+        record_history: true,
+        executor: Some(kind),
+        ..SolveOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let r = solve_or_panic(a.clone(), b, cfg, &opts);
+        best = best.min(r.report.host_seconds);
+        last = Some(r);
+    }
+    (last.expect("at least one repeat"), best)
+}
+
+/// The fused-kernel names the fig8 hot path must hit. A fallback on any of
+/// these rebuilds the interpreter bottleneck this executor exists to
+/// remove, so it fails the gate rather than just slowing down.
+const REQUIRED_KERNELS: &[&str] =
+    &["spmv", "spmv_residual", "forward_subst", "backward_subst_div", "map", "reduce"];
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("--scale", 0.002);
+    let repeats = args.get("--repeats", 3.0) as usize;
+    let min_speedup = args.get("--min-speedup", 5.0);
+    let out = args.get_str("--out", "results/native_speedup.json");
+
+    // The budget_check fig8 workload: MPIR(dw) { PBiCGStab(100) { ILU(0) } }.
+    let a = Rc::new(by_name("G3_circuit", scale));
+    let b = sparse::gen::random_vector(a.nrows, 8);
+    let cfg = SolverConfig::Mpir {
+        inner: Box::new(SolverConfig::BiCgStab {
+            max_iters: 100,
+            rel_tol: 0.0,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        }),
+        precision: ExtendedPrecision::DoubleWord,
+        max_outer: 60,
+        rel_tol: 1e-9,
+    };
+    header(&format!(
+        "native_speedup: fig8-class MPIR solve on G3_circuit@{scale} ({} rows, {} nnz)",
+        a.nrows,
+        a.nnz()
+    ));
+
+    let (rs, seq_s) = run(ExecutorKind::Sequential, a.clone(), &b, &cfg, repeats);
+    let (rn, nat_s) = run(ExecutorKind::Native, a.clone(), &b, &cfg, repeats);
+
+    // 1. Bit-and-cycle identity.
+    assert_eq!(
+        fingerprint(&rs),
+        fingerprint(&rn),
+        "native executor disagrees with the interpreter — determinism violation"
+    );
+
+    // 2. Kernel coverage.
+    let sel = rn
+        .report
+        .compile
+        .as_ref()
+        .and_then(|c| c.pass("native-kernel-selection"))
+        .expect("native run stamps the kernel selection into its compile report");
+    let fallbacks: Vec<String> = sel
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("fallback."))
+        .map(|(k, _)| k["fallback.".len()..].to_string())
+        .collect();
+    let missing: Vec<&str> = REQUIRED_KERNELS
+        .iter()
+        .copied()
+        .filter(|k| sel.counter(&format!("fused.{k}")) == 0)
+        .collect();
+    println!(
+        "kernels: {}/{} codelets fused; fallbacks: [{}]",
+        sel.counter("codelets_fused"),
+        sel.counter("codelets_total"),
+        fallbacks.join(", ")
+    );
+    if !missing.is_empty() {
+        eprintln!("hot-op codelets fell back to the interpreter: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // 3. Per-iteration host-dispatch speedup.
+    let iters = rs.iterations.max(1) as f64;
+    let seq_per_iter = seq_s / iters;
+    let nat_per_iter = nat_s / iters;
+    let speedup = seq_per_iter / nat_per_iter;
+    println!("executor\thost_s\thost_s_per_iter\tdevice_cycles");
+    println!("sequential\t{seq_s:.4}\t{seq_per_iter:.6}\t{}", rs.stats.device_cycles());
+    println!("native\t{nat_s:.4}\t{nat_per_iter:.6}\t{}", rn.stats.device_cycles());
+    println!("speedup\t{speedup:.2}x\t(gate: >= {min_speedup:.1}x)");
+
+    let doc = Json::obj(vec![
+        ("bin", Json::from("native_speedup")),
+        ("matrix", Json::from("G3_circuit")),
+        ("scale", Json::from(scale)),
+        ("rows", Json::from(a.nrows as f64)),
+        ("nnz", Json::from(a.nnz() as f64)),
+        ("repeats", Json::from(repeats as f64)),
+        ("iterations", Json::from(rs.iterations as f64)),
+        ("seq_host_seconds", Json::from(seq_s)),
+        ("native_host_seconds", Json::from(nat_s)),
+        ("seq_host_seconds_per_iter", Json::from(seq_per_iter)),
+        ("native_host_seconds_per_iter", Json::from(nat_per_iter)),
+        ("speedup", Json::from(speedup)),
+        ("min_speedup", Json::from(min_speedup)),
+        ("codelets_total", Json::from(sel.counter("codelets_total"))),
+        ("codelets_fused", Json::from(sel.counter("codelets_fused"))),
+        ("fallbacks", Json::arr(fallbacks.iter().map(|f| Json::from(f.as_str())))),
+        ("device_cycles", Json::from(rs.stats.device_cycles() as f64)),
+        ("bit_identical", Json::from(true)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[graphene] cannot create {}: {e}", dir.display());
+        }
+    }
+    match std::fs::write(&out, doc.to_pretty()) {
+        Ok(()) => eprintln!("[graphene] wrote {out}"),
+        Err(e) => eprintln!("[graphene] cannot write {out}: {e}"),
+    }
+
+    if speedup < min_speedup {
+        eprintln!(
+            "native per-iteration host dispatch speedup {speedup:.2}x is below the \
+             {min_speedup:.1}x gate"
+        );
+        std::process::exit(1);
+    }
+}

@@ -67,6 +67,11 @@ pub struct SolveOptions {
     /// plan (`None`: whatever `GRAPHENE_LEGACY_INTERP` selects).
     /// Differential testing only.
     pub legacy_interpreter: Option<bool>,
+    /// Whether the native executor may dispatch fused kernels (`None`:
+    /// whatever `GRAPHENE_NATIVE` selects, enabled when unset). `Some(false)`
+    /// keeps [`ExecutorKind::Native`] selected but forces the interpreter
+    /// fallback for every codelet — the differential-testing leg.
+    pub native_fusion: Option<bool>,
     /// Deterministic hardware fault injection (`None`: whatever
     /// `GRAPHENE_FAULTS` selects, no faults when unset). See
     /// `ipu_sim::fault::FaultPlan` for the spec grammar.
@@ -88,6 +93,7 @@ impl Default for SolveOptions {
             executor: None,
             optimise: None,
             legacy_interpreter: None,
+            native_fusion: None,
             faults: None,
             recovery: None,
         }
@@ -300,6 +306,10 @@ pub fn solve(
                     m.counter_add("solve.checkpoints", checkpoints_total);
                     m.gauge_set("solve.iterations", att.iterations as f64);
                     m.gauge_set("solve.final_residual", att.residual);
+                    if let Some(sel) = att.compile.pass("native-kernel-selection") {
+                        m.counter_add("native.codelets_total", sel.counter("codelets_total"));
+                        m.counter_add("native.codelets_fused", sel.counter("codelets_fused"));
+                    }
                     m.observe(
                         "solve.host_seconds",
                         &[1e-3, 1e-2, 1e-1, 1.0, 10.0],
@@ -519,6 +529,9 @@ fn run_attempt(
     }
     if let Some(legacy) = opts.legacy_interpreter {
         engine.set_legacy_interpreter(legacy);
+    }
+    if let Some(fusion) = opts.native_fusion {
+        engine.set_native_fusion(fusion);
     }
     // Per-step performance attribution rides along with every planned
     // run: pure host-side bookkeeping, zero device cycles. The legacy
@@ -943,6 +956,71 @@ mod tests {
         assert_eq!(par.report.executor, "parallel");
         assert!(seq.report.host_seconds > 0.0);
         assert!(par.report.host_seconds > 0.0);
+    }
+
+    #[test]
+    fn native_executor_solve_is_bit_identical_and_fuses_hot_codelets() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 60,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let seq = solve_or_panic(
+            a.clone(),
+            &b,
+            &cfg,
+            &SolveOptions { executor: Some(ExecutorKind::Sequential), ..opts(4) },
+        );
+        let nat = solve_or_panic(
+            a.clone(),
+            &b,
+            &cfg,
+            &SolveOptions { executor: Some(ExecutorKind::Native), ..opts(4) },
+        );
+        // Fusion force-disabled: still the native executor, every vertex
+        // down the interpreter fallback.
+        let off = solve_or_panic(
+            a,
+            &b,
+            &cfg,
+            &SolveOptions {
+                executor: Some(ExecutorKind::Native),
+                native_fusion: Some(false),
+                ..opts(4)
+            },
+        );
+        for (name, other) in [("native", &nat), ("native-nofusion", &off)] {
+            let sb: Vec<u64> = seq.x.iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u64> = other.x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, ob, "{name}: solutions differ from sequential");
+            assert_eq!(seq.iterations, other.iterations, "{name}");
+            assert_eq!(seq.stats.device_cycles(), other.stats.device_cycles(), "{name}");
+            assert_eq!(other.report.executor, "native", "{name}");
+        }
+        // The compile report records the selection; the fig8-class hot ops
+        // (SpMV, the triangular sweeps, maps and reductions) must fuse.
+        let compile = nat.report.compile.as_ref().expect("compile report present");
+        let sel = compile.pass("native-kernel-selection").expect("selection stamped");
+        assert!(sel.counter("codelets_total") > 0);
+        assert!(
+            sel.counter("codelets_fused") >= sel.counter("codelets_total") / 2,
+            "expected most codelets to fuse: {:?}",
+            sel.counters
+        );
+        assert!(sel.counter("fused.spmv") > 0, "SpMV must fuse: {:?}", sel.counters);
+        assert!(sel.counter("fused.forward_subst") > 0, "{:?}", sel.counters);
+        assert!(sel.counter("fused.backward_subst_div") > 0, "{:?}", sel.counters);
+        assert!(sel.counter("fused.map") > 0, "{:?}", sel.counters);
+        // Fusion-off leg stamps a selection with zero fused codelets.
+        let off_sel = off
+            .report
+            .compile
+            .as_ref()
+            .and_then(|c| c.pass("native-kernel-selection"))
+            .expect("selection stamped on the no-fusion leg");
+        assert_eq!(off_sel.counter("codelets_fused"), 0);
     }
 
     #[test]

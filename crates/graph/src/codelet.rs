@@ -114,7 +114,7 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn cost_op(self) -> Op {
+    pub(crate) fn cost_op(self) -> Op {
         match self {
             BinOp::Add => Op::Add,
             BinOp::Sub => Op::Sub,
@@ -138,7 +138,7 @@ pub enum UnOp {
 
 /// The numeric promotion lattice of the dynamically typed DSLs:
 /// Bool < I32 < F32 < DoubleWord < F64Emulated.
-fn promote(a: DType, b: DType) -> DType {
+pub(crate) fn promote(a: DType, b: DType) -> DType {
     fn rank(d: DType) -> u8 {
         match d {
             DType::Bool => 0,
@@ -247,7 +247,7 @@ pub fn apply_bin(op: BinOp, a: Value, b: Value) -> (Value, DType) {
     (val, dt)
 }
 
-fn as_dw(v: Value) -> TwoF32 {
+pub(crate) fn as_dw(v: Value) -> TwoF32 {
     match v {
         Value::Dw(x) => x,
         Value::F32(x) => TwoFloat::from_f(x),
@@ -513,7 +513,7 @@ impl ParamData<'_> {
         self.len() == 0
     }
 
-    fn get(&self, i: usize) -> Value {
+    pub(crate) fn get(&self, i: usize) -> Value {
         match self {
             ParamData::F32(s) => Value::F32(s[i]),
             ParamData::I32(s) => Value::I32(s[i]),
@@ -528,7 +528,7 @@ impl ParamData<'_> {
         }
     }
 
-    fn set(&mut self, i: usize, v: Value) {
+    pub(crate) fn set(&mut self, i: usize, v: Value) {
         match self {
             ParamData::F32(s) => s[i] = v.as_f64() as f32,
             ParamData::I32(s) => s[i] = v.as_i64() as i32,

@@ -49,12 +49,13 @@ use ipu_sim::exchange::ExchangeProgram;
 use ipu_sim::fault::{Fault, FaultEvent, FaultKind, FaultPlan};
 use ipu_sim::model::TileId;
 use profile::perf::{PerfRecorder, PerfReport};
-use profile::{CompileReport, TraceRecorder};
+use profile::{CompileReport, PassStat, TraceRecorder};
 use twofloat::{SoftDouble, TwoF32, TwoFloat};
 
 use crate::codelet::{Codelet, Interp, ParamData, Value};
 use crate::compute::{TensorSlice, Vertex, VertexKind};
 use crate::graph::{Executable, Graph};
+use crate::kernels::KernelTable;
 use crate::passes;
 use crate::plan::{CopyStep, ExchangePhase, ExecPlan, ExecuteStep, PlanStep, StepId};
 use crate::program::{ElemCopy, Prog};
@@ -69,6 +70,12 @@ pub enum ExecutorKind {
     /// threads; per-tile results are merged in tile-id order, so stats
     /// and traces are bit-identical to sequential execution.
     Parallel,
+    /// One host thread walks the vertices in program order, but codelets
+    /// matched against the fused-kernel library ([`crate::kernels`]) run
+    /// as monomorphised Rust instead of the tree-walking interpreter.
+    /// Results, cycle stats and traces are bit-identical to sequential
+    /// execution; only host wall-clock time changes.
+    Native,
 }
 
 impl ExecutorKind {
@@ -76,6 +83,7 @@ impl ExecutorKind {
         match self {
             ExecutorKind::Sequential => "sequential",
             ExecutorKind::Parallel => "parallel",
+            ExecutorKind::Native => "native",
         }
     }
 }
@@ -91,11 +99,21 @@ pub struct EngineOptions {
     /// plan (re-plans every step on every execution). Differential
     /// testing only; `GRAPHENE_LEGACY_INTERP=1`.
     pub legacy_interpreter: bool,
+    /// Whether the native executor may actually fuse matched codelets.
+    /// `false` forces every codelet down the interpreter fallback even
+    /// under [`ExecutorKind::Native`] — the differential-testing leg of
+    /// the bit-identity contract (`GRAPHENE_NATIVE=0`).
+    pub native_fusion: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { executor: ExecutorKind::Sequential, threads: 0, legacy_interpreter: false }
+        EngineOptions {
+            executor: ExecutorKind::Sequential,
+            threads: 0,
+            legacy_interpreter: false,
+            native_fusion: true,
+        }
     }
 }
 
@@ -105,7 +123,11 @@ impl EngineOptions {
     /// `true`, `on` or `yes` select the parallel executor with one
     /// worker per core; an integer `N >= 2` caps the workers at `N`.
     /// `GRAPHENE_LEGACY_INTERP=1` additionally selects the legacy
-    /// tree-walking interpreter.
+    /// tree-walking interpreter. `GRAPHENE_NATIVE=1` selects the native
+    /// fused-kernel executor (overriding `GRAPHENE_PAR`, since it is
+    /// parsed after it); `GRAPHENE_NATIVE=0` leaves the executor choice
+    /// alone but force-disables kernel fusion, so a native engine falls
+    /// back to the interpreter for every codelet.
     pub fn from_env() -> Self {
         let mut o = match std::env::var("GRAPHENE_PAR") {
             Err(_) => EngineOptions::default(),
@@ -114,6 +136,13 @@ impl EngineOptions {
         if let Ok(v) = std::env::var("GRAPHENE_LEGACY_INTERP") {
             o.legacy_interpreter =
                 matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes");
+        }
+        if let Ok(v) = std::env::var("GRAPHENE_NATIVE") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => o.executor = ExecutorKind::Native,
+                "0" | "false" | "off" | "no" => o.native_fusion = false,
+                _ => {}
+            }
         }
         o
     }
@@ -304,6 +333,11 @@ pub struct Engine {
     /// with `stats`. Purely observational: it never reads or advances the
     /// clock, so device cycle totals are identical with or without it.
     perf: Option<PerfRecorder>,
+    /// Per-codelet fused-kernel selection, built iff the native executor
+    /// is selected (`None` otherwise). Rebuilt by [`Engine::set_executor`]
+    /// and [`Engine::set_native_fusion`]; the selection is stamped into
+    /// the compile report as the `"native-kernel-selection"` pass.
+    kernels: Option<KernelTable>,
 }
 
 impl Engine {
@@ -327,7 +361,7 @@ impl Engine {
         }
         let storage = exec.graph.tensors.iter().map(|t| Storage::zeros(t.dtype, t.len())).collect();
         let stats = CycleStats::new(exec.graph.model.num_tiles());
-        Ok(Engine {
+        let mut engine = Engine {
             graph: exec.graph,
             program: exec.program,
             plan: exec.plan,
@@ -339,7 +373,39 @@ impl Engine {
             options,
             faults: None,
             perf: None,
-        })
+            kernels: None,
+        };
+        engine.rebuild_kernels();
+        Ok(engine)
+    }
+
+    /// (Re)build the fused-kernel table for the current options and stamp
+    /// the selection into the compile report. Codelet matching is pure
+    /// structure (bytecode + operand declarations), so the table only
+    /// depends on the graph and the `native_fusion` flag.
+    fn rebuild_kernels(&mut self) {
+        if self.options.executor != ExecutorKind::Native {
+            self.kernels = None;
+            return;
+        }
+        let table = if self.options.native_fusion {
+            KernelTable::build(&self.graph)
+        } else {
+            KernelTable::disabled(&self.graph)
+        };
+        // Idempotent: replace any stamp left by a previous executor switch.
+        self.report.passes.retain(|p| p.name != "native-kernel-selection");
+        let mut stat = PassStat::new("native-kernel-selection", self.report.plan_steps);
+        stat.count("codelets_total", table.total() as u64);
+        stat.count("codelets_fused", table.fused_count() as u64);
+        for (codelet, kernel) in table.selection(&self.graph) {
+            match kernel {
+                Some(k) => stat.count(&format!("fused.{k}"), 1),
+                None => stat.count(&format!("fallback.{codelet}"), 1),
+            }
+        }
+        self.report.passes.push(stat);
+        self.kernels = Some(table);
     }
 
     /// Attach a fresh per-step performance recorder sized to this engine's
@@ -401,12 +467,34 @@ impl Engine {
             parallel_hazards(&self.graph)?;
         }
         self.options.executor = executor;
+        self.rebuild_kernels();
         Ok(())
     }
 
     /// The host executor currently selected.
     pub fn executor(&self) -> ExecutorKind {
         self.options.executor
+    }
+
+    /// Enable or force-disable fused-kernel dispatch under the native
+    /// executor (no effect on the other executors). Disabling keeps
+    /// [`ExecutorKind::Native`] selected but routes every codelet through
+    /// the interpreter fallback — the differential-testing leg.
+    pub fn set_native_fusion(&mut self, enabled: bool) {
+        self.options.native_fusion = enabled;
+        self.rebuild_kernels();
+    }
+
+    /// Whether fused-kernel dispatch is enabled for the native executor.
+    pub fn native_fusion(&self) -> bool {
+        self.options.native_fusion
+    }
+
+    /// The fused-kernel selection, one entry per codelet: `(codelet name,
+    /// Some(kernel name) | None)`. Empty unless the native executor is
+    /// selected.
+    pub fn kernel_selection(&self) -> Vec<(&str, Option<&'static str>)> {
+        self.kernels.as_ref().map(|t| t.selection(&self.graph)).unwrap_or_default()
     }
 
     /// Switch between the compiled-plan walker (default) and the legacy
@@ -520,6 +608,7 @@ impl Engine {
             opts,
             faults: &mut self.faults,
             perf: &mut self.perf,
+            kernels: &self.kernels,
         };
         if opts.legacy_interpreter {
             let program = self.program.clone();
@@ -549,6 +638,7 @@ struct ExecCtx<'a> {
     opts: EngineOptions,
     faults: &'a mut Option<FaultState>,
     perf: &'a mut Option<PerfRecorder>,
+    kernels: &'a Option<KernelTable>,
 }
 
 impl ExecCtx<'_> {
@@ -791,6 +881,21 @@ impl ExecCtx<'_> {
                 let (mut flops, mut mem) = (0u64, 0u64);
                 for v in &cs.vertices {
                     let run = run_vertex(self.graph, &bases, v);
+                    *acc.entry(v.tile).or_insert(0) += run.cycles;
+                    flops += run.flops;
+                    mem += run.mem_bytes;
+                }
+                (acc.into_iter().collect(), flops, mem)
+            }
+            ExecutorKind::Native => {
+                // Same program-order walk as Sequential (so hazardous
+                // programs stay order-identical); the only difference is
+                // per-vertex dispatch into the fused-kernel library.
+                let table = self.kernels.as_ref();
+                let mut acc: BTreeMap<TileId, u64> = BTreeMap::new();
+                let (mut flops, mut mem) = (0u64, 0u64);
+                for v in &cs.vertices {
+                    let run = run_vertex_native(self.graph, &bases, v, table);
                     *acc.entry(v.tile).or_insert(0) += run.cycles;
                     flops += run.flops;
                     mem += run.mem_bytes;
@@ -1279,6 +1384,29 @@ fn run_vertex(graph: &Graph, bases: &TensorBases, v: &Vertex) -> VertexRun {
             VertexRun { cycles, flops: interp.flops, mem_bytes: interp.mem_bytes }
         }
     }
+}
+
+/// Native-executor dispatch for one vertex: try the fused kernel matched
+/// to its codelet, fall back to the interpreter when no kernel matched at
+/// build time or the runtime operand layout declines (`run` returns
+/// `None`, e.g. a storage dtype the monomorphised code was not built
+/// for). The fallback is `run_vertex` itself, so a declined vertex is
+/// bit- and cycle-identical to sequential execution by construction.
+fn run_vertex_native(
+    graph: &Graph,
+    bases: &TensorBases,
+    v: &Vertex,
+    table: Option<&KernelTable>,
+) -> VertexRun {
+    if let Some(kernel) = table.and_then(|t| t.get(v.codelet)) {
+        let codelet = &graph.codelets[v.codelet];
+        let workers = graph.model.workers_per_tile as u64;
+        let mut params = params_from_bases(bases, codelet, &v.operands);
+        if let Some(run) = kernel.run(&v.kind, &mut params, &graph.cost, workers) {
+            return VertexRun { cycles: run.cycles, flops: run.flops, mem_bytes: run.mem_bytes };
+        }
+    }
+    run_vertex(graph, bases, v)
 }
 
 fn index_two(storage: &mut [Storage], a: usize, b: usize) -> (&mut Storage, &mut Storage) {

@@ -25,6 +25,7 @@ pub mod codelet;
 pub mod compute;
 pub mod engine;
 pub mod graph;
+pub mod kernels;
 pub mod passes;
 pub mod perf;
 pub mod plan;
@@ -37,6 +38,7 @@ pub use codelet::{
 pub use compute::{ComputeSet, ComputeSetId, Vertex, VertexKind};
 pub use engine::{parallel_hazards, Engine, EngineOptions, ExecutorKind, FaultState};
 pub use graph::{CompileError, Executable, Graph};
+pub use kernels::{FusedKernel, KernelRun, KernelTable};
 pub use passes::CompileOptions;
 pub use plan::{ExecPlan, PlanStep, StepId};
 pub use program::{ExchangeStep, Prog};

@@ -197,12 +197,19 @@ pub fn random_spd(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut coo = CooMatrix::new(n, n);
     let mut row_sums = vec![0.0f64; n];
-    let offdiag_each = nnz_per_row.saturating_sub(1) / 2;
+    // A 1x1 matrix has no valid off-diagonal target; redrawing would spin
+    // forever.
+    let offdiag_each = if n < 2 { 0 } else { nnz_per_row.saturating_sub(1) / 2 };
     for i in 0..n {
         for _ in 0..offdiag_each {
-            let j = rng.gen_range(0..n);
-            if j == i {
-                continue;
+            // Redraw on the diagonal instead of skipping: a skip silently
+            // drops the row below its nnz budget. Duplicate (i, j) draws
+            // are allowed — `CooMatrix::to_csr` sums duplicates, and
+            // `row_sums` accumulates |v| per draw, which upper-bounds the
+            // merged |Σv|, so strict dominance survives the merge.
+            let mut j = rng.gen_range(0..n);
+            while j == i {
+                j = rng.gen_range(0..n);
             }
             let v = rng.gen_range(-1.0..1.0);
             coo.push(i, j, v);
@@ -359,6 +366,46 @@ mod tests {
                 .sum();
             assert!(diag > off, "row {i}");
         }
+    }
+
+    #[test]
+    fn random_spd_nnz_bounds_pinned() {
+        // Regression: a diagonal draw used to be *skipped*, silently
+        // shrinking rows below the requested budget. With redraws, every
+        // row makes exactly `offdiag_each` symmetric draw pairs, so the
+        // structural nnz is n (diagonal) + 2·n·offdiag_each draws minus
+        // whatever duplicate (i, j) draws merged in `to_csr`.
+        for seed in 0..50 {
+            // n = 2 forces every off-diagonal draw onto the single valid
+            // target, the worst case for both old bugs: j == i draws are
+            // frequent and every repeated draw is a duplicate.
+            let a = random_spd(2, 3, seed);
+            assert_eq!(a.nnz(), 4, "seed {seed}: 2 diag + 1 merged pair each side");
+            assert!(a.is_symmetric(1e-12));
+
+            let n = 30;
+            let nnz_per_row = 5;
+            let offdiag_each = (nnz_per_row - 1) / 2;
+            let a = random_spd(n, nnz_per_row, seed);
+            // Lower bound: the diagonal plus at least one merged entry
+            // pair per row's draws. Upper bound: nothing merged at all.
+            assert!(a.nnz() > n, "seed {seed}: off-diagonals present");
+            assert!(
+                a.nnz() <= n + 2 * n * offdiag_each,
+                "seed {seed}: nnz {} above the duplicate-free maximum",
+                a.nnz()
+            );
+            // No self-entry draw may survive as a dropped slot: every row
+            // has its diagonal plus at least one off-diagonal entry.
+            for i in 0..n {
+                assert!(a.get(i, i) != 0.0, "seed {seed}: row {i} diagonal");
+                assert!(a.row_nnz(i) >= 2, "seed {seed}: row {i} lost its draws");
+            }
+            assert!(a.is_symmetric(1e-12));
+        }
+        // Degenerate sizes terminate (the redraw loop must not spin).
+        assert_eq!(random_spd(1, 5, 7).nnz(), 1);
+        assert_eq!(random_spd(0, 5, 7).nnz(), 0);
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub struct SellMatrix {
     pub slice_ptr: Vec<usize>,
     /// Padded values (0.0 in padding).
     pub vals: Vec<f64>,
-    /// Padded column indices (repeat of the row's own index in padding, so
-    /// gathers stay in-bounds and padding contributes `0.0 * x[i]`).
+    /// Padded column indices. Padding repeats a *column* the row already
+    /// references (its last real entry, or column 0 for empty rows), so
+    /// gathers stay in-bounds — also for rectangular matrices — and
+    /// padding contributes `0.0 * x[col]`.
     pub cols: Vec<u32>,
 }
 
@@ -54,8 +56,15 @@ impl SellMatrix {
                         cols.push(rc[k]);
                         vals.push(rv[k]);
                     } else {
-                        // Padding: contributes 0 * x[row] (in-bounds).
-                        cols.push(i.min(a.nrows.saturating_sub(1)) as u32);
+                        // Padding: contributes 0 * x[col] for a column the
+                        // row actually references (never the row index —
+                        // that is out of bounds whenever ncols < nrows).
+                        let pad = if i < a.nrows && a.row_nnz(i) > 0 {
+                            a.row(i).0[a.row_nnz(i) - 1]
+                        } else {
+                            0
+                        };
+                        cols.push(pad);
                         vals.push(0.0);
                     }
                 }
@@ -159,6 +168,42 @@ mod tests {
         let mut y = vec![0.0; 32];
         tall.spmv(&x, &mut y);
         assert!((y[0] - (1.0 + 31.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_padding_stays_in_column_bounds() {
+        // Regression: padding used to push the *row* index as a column
+        // index, which is out of bounds (or silently wrong) as soon as
+        // ncols < nrows. 8x3 matrix, ragged rows, one empty row.
+        let mut coo = crate::formats::CooMatrix::new(8, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 2, -1.0);
+        coo.push(1, 1, 3.0);
+        // row 2 stays empty
+        coo.push(3, 0, 1.0);
+        coo.push(3, 1, 1.0);
+        coo.push(3, 2, 1.0);
+        for i in 4..8 {
+            coo.push(i, (i * 2) % 3, 1.5);
+        }
+        let a = coo.to_csr();
+        assert!(a.ncols < a.nrows);
+        for c in [1, 3, 4, 8] {
+            let sell = SellMatrix::from_csr(&a, c);
+            for &col in &sell.cols {
+                assert!(
+                    (col as usize) < a.ncols,
+                    "c={c}: padding column {col} out of bounds for ncols={}",
+                    a.ncols
+                );
+            }
+            let x: Vec<f64> = (0..a.ncols).map(|i| 1.0 + i as f64).collect();
+            let mut y1 = vec![0.0; a.nrows];
+            let mut y2 = vec![0.0; a.nrows];
+            a.spmv(&x, &mut y1);
+            sell.spmv(&x, &mut y2);
+            assert_eq!(y1, y2, "c={c}");
+        }
     }
 
     #[test]

@@ -86,13 +86,60 @@ pub struct ExecutorEquivalence {
     pub iterations: usize,
 }
 
-/// Run the same solve under both host executors and require bit-identical
-/// solutions and cycle-identical profiles.
+/// Require a candidate run to be observationally identical to the
+/// sequential reference: solution bits, device cycles, per-phase splits,
+/// per-label partitions, per-tile busy time, superstep and sync counts,
+/// exchanged bytes, the recorded history and device seconds.
+fn assert_runs_identical(reference: &SolveResult, candidate: &SolveResult, who: &str) {
+    let (xs, dcs, xbs, sss, scs, lbs) = fingerprint(reference);
+    let (xp, dcp, xbp, ssp, scp, lbp) = fingerprint(candidate);
+    assert_eq!(xs, xp, "{who}: solution bits differ from sequential");
+    assert_eq!(dcs, dcp, "{who}: device cycles differ from sequential");
+    assert_eq!(xbs, xbp, "{who}: exchanged bytes differ from sequential");
+    assert_eq!(sss, ssp, "{who}: superstep counts differ from sequential");
+    assert_eq!(scs, scp, "{who}: sync counts differ from sequential");
+    assert_eq!(lbs, lbp, "{who}: per-label cycle partitions differ from sequential");
+    for phase in [Phase::Compute, Phase::Exchange, Phase::Sync] {
+        assert_eq!(
+            reference.stats.phase_cycles(phase),
+            candidate.stats.phase_cycles(phase),
+            "{who}: {phase:?} cycles differ from sequential"
+        );
+        assert_eq!(
+            reference.stats.unlabelled_phase_cycles(phase),
+            candidate.stats.unlabelled_phase_cycles(phase),
+            "{who}: unlabelled {phase:?} cycles differ from sequential"
+        );
+    }
+    assert_eq!(
+        reference.stats.tile_busy_all(),
+        candidate.stats.tile_busy_all(),
+        "{who}: per-tile busy cycles differ from sequential"
+    );
+    assert_eq!(
+        reference.iterations, candidate.iterations,
+        "{who}: iteration counts differ from sequential"
+    );
+    let hs: Vec<(usize, u64)> = reference.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    let hp: Vec<(usize, u64)> = candidate.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
+    assert_eq!(hs, hp, "{who}: residual histories differ from sequential");
+    assert_eq!(
+        reference.report.seconds, candidate.report.seconds,
+        "{who}: device seconds differ from sequential"
+    );
+}
+
+/// Run the same solve under every host executor — sequential (the
+/// reference), tile-parallel, native fused-kernel, and native with fusion
+/// force-disabled — and require bit-identical solutions and cycle-identical
+/// profiles across all four.
 ///
-/// This is the determinism-under-parallelism contract of the tile-parallel
-/// executor: vertices are partitioned across host workers, but per-tile
-/// cycles merge in tile-id order and writes are disjoint by construction,
-/// so *nothing* observable may differ — solution bits, device cycles,
+/// This is the determinism contract of the executor family: the parallel
+/// executor partitions vertices across host workers but merges per-tile
+/// cycles in tile-id order; the native executor swaps the tree-walking
+/// interpreter for monomorphised Rust kernels that re-derive the same
+/// cycle charges; the fusion-off leg pins the native dispatch path itself.
+/// *Nothing* observable may differ — solution bits, device cycles,
 /// per-phase splits, per-label partitions, per-tile busy time, superstep
 /// and sync counts, exchanged bytes, or the recorded history.
 pub fn assert_executor_equivalence(
@@ -100,45 +147,20 @@ pub fn assert_executor_equivalence(
     b: &[f64],
     config: &SolverConfig,
 ) -> ExecutorEquivalence {
-    let seq_opts = SolveOptions {
-        executor: Some(ExecutorKind::Sequential),
+    let with = |executor, native_fusion| SolveOptions {
+        executor: Some(executor),
+        native_fusion,
         record_history: true,
         ..sim_opts()
     };
-    let par_opts =
-        SolveOptions { executor: Some(ExecutorKind::Parallel), record_history: true, ..sim_opts() };
-    let rs = solve_or_panic(a.clone(), b, config, &seq_opts);
-    let rp = solve_or_panic(a.clone(), b, config, &par_opts);
-    let (xs, dcs, xbs, sss, scs, lbs) = fingerprint(&rs);
-    let (xp, dcp, xbp, ssp, scp, lbp) = fingerprint(&rp);
-    assert_eq!(xs, xp, "solution bits differ between executors");
-    assert_eq!(dcs, dcp, "device cycles differ between executors");
-    assert_eq!(xbs, xbp, "exchanged bytes differ between executors");
-    assert_eq!(sss, ssp, "superstep counts differ between executors");
-    assert_eq!(scs, scp, "sync counts differ between executors");
-    assert_eq!(lbs, lbp, "per-label cycle partitions differ between executors");
-    for phase in [Phase::Compute, Phase::Exchange, Phase::Sync] {
-        assert_eq!(
-            rs.stats.phase_cycles(phase),
-            rp.stats.phase_cycles(phase),
-            "{phase:?} cycles differ between executors"
-        );
-        assert_eq!(
-            rs.stats.unlabelled_phase_cycles(phase),
-            rp.stats.unlabelled_phase_cycles(phase),
-            "unlabelled {phase:?} cycles differ between executors"
-        );
-    }
-    assert_eq!(
-        rs.stats.tile_busy_all(),
-        rp.stats.tile_busy_all(),
-        "per-tile busy cycles differ between executors"
-    );
-    assert_eq!(rs.iterations, rp.iterations, "iteration counts differ between executors");
-    let hs: Vec<(usize, u64)> = rs.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
-    let hp: Vec<(usize, u64)> = rp.history.iter().map(|&(i, r)| (i, r.to_bits())).collect();
-    assert_eq!(hs, hp, "residual histories differ between executors");
-    assert_eq!(rs.report.seconds, rp.report.seconds, "device seconds differ between executors");
+    let rs = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Sequential, None));
+    let rp = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Parallel, None));
+    let rn = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Native, None));
+    let rn_off = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Native, Some(false)));
+    assert_runs_identical(&rs, &rp, "parallel");
+    assert_runs_identical(&rs, &rn, "native");
+    assert_runs_identical(&rs, &rn_off, "native(fusion off)");
+    let (_, dcs, ..) = fingerprint(&rs);
     ExecutorEquivalence { device_cycles: dcs, iterations: rs.iterations }
 }
 

@@ -22,6 +22,7 @@ run "Table IV"   table4                    | tee results/table4.txt
 run "Ablations"  ablations                 | tee results/ablations.txt
 run "Resilience" resilience                | tee results/resilience.txt
 run "Perf attribution" perf_attrib         | tee results/perf_attrib.txt
+run "Native kernels" native_speedup        | tee results/native_speedup.txt
 # Aggregate every results/*.json artifact written above into
 # results/summary.json + a markdown table at results/summary.md.
 run "Summary"    summarize                 | tee results/summary.txt
