@@ -6,186 +6,52 @@
 //!
 //! * Reporter documents — `{"bin": ..., "runs": [...]}`, where each run is
 //!   either a full `SolveReport` (summarised as a solve row: iterations,
-//!   residual, device cycles, schema version) or an ad-hoc labelled
-//!   object (its scalar fields are carried through);
+//!   residual, device cycles, schema version; any schema back to v1) or an
+//!   ad-hoc labelled object (its scalar fields are carried through);
 //! * bespoke top-level objects (`par_speedup.json`, `resilience.json`,
 //!   `perf_attrib.json`...) — their top-level scalars are carried through.
 //!
-//! Unparseable or unknown files are listed under `"skipped"` rather than
-//! failing the aggregation: a half-finished experiment sweep still
-//! summarises.
+//! A missing results directory, unreadable files, truncated JSON and
+//! unknown shapes are all listed under `"skipped"` rather than failing
+//! the aggregation: a half-finished experiment sweep still summarises.
+//! The logic lives in `graphene_bench::summary` (tested there).
 
+use graphene_bench::summary::summarize_dir;
 use graphene_bench::{header, Args};
-use json::Json;
-use profile::SolveReport;
-
-/// Scalar top-level fields of an object, in document order.
-fn scalars(v: &Json) -> Vec<(String, Json)> {
-    match v {
-        Json::Obj(pairs) => pairs
-            .iter()
-            .filter(|(_, v)| matches!(v, Json::Num(_) | Json::Str(_) | Json::Bool(_)))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect(),
-        _ => Vec::new(),
-    }
-}
-
-fn fmt_cell(v: &Json) -> String {
-    match v {
-        Json::Str(s) => s.clone(),
-        other => other.to_string(),
-    }
-}
 
 fn main() {
     let args = Args::parse();
     let dir = std::path::PathBuf::from(args.get_str("--dir", "results"));
     header(&format!("summarize: aggregating {}/*.json", dir.display()));
 
-    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(&dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.extension().and_then(|e| e.to_str()) == Some("json")
-                    && p.file_name()
-                        .and_then(|n| n.to_str())
-                        .map_or(false, |n| n != "summary.json" && !n.starts_with("summary"))
-            })
-            .collect(),
-        Err(e) => {
-            eprintln!("[graphene] cannot read {}: {e}", dir.display());
-            std::process::exit(1);
-        }
-    };
-    files.sort();
-
-    let mut solves: Vec<Json> = Vec::new();
-    let mut bins: Vec<(String, Json)> = Vec::new();
-    let mut skipped: Vec<String> = Vec::new();
-    for path in &files {
-        let fname = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                skipped.push(format!("{fname}: {e}"));
-                continue;
-            }
-        };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
-            Err(e) => {
-                skipped.push(format!("{fname}: {e}"));
-                continue;
-            }
-        };
-        let bin = doc
-            .get("bin")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .unwrap_or_else(|| fname.trim_end_matches(".json").to_string());
-        match doc.get("runs").and_then(Json::as_arr) {
-            Some(runs) => {
-                let mut adhoc = 0usize;
-                for run in runs {
-                    if let Ok(r) = SolveReport::from_value(run) {
-                        solves.push(Json::obj([
-                            ("file", Json::from(fname.as_str())),
-                            ("name", Json::from(r.name.as_str())),
-                            ("schema", Json::from(r.schema)),
-                            ("n", Json::from(r.n)),
-                            ("nnz", Json::from(r.nnz)),
-                            ("tiles", Json::from(r.tiles)),
-                            ("iterations", Json::from(r.iterations)),
-                            ("final_residual", Json::from(r.final_residual)),
-                            ("device_cycles", Json::from(r.cycles.device)),
-                            ("seconds", Json::from(r.seconds)),
-                            ("executor", Json::from(r.executor.as_str())),
-                            ("has_perf", Json::from(r.perf.is_some())),
-                        ]));
-                    } else {
-                        adhoc += 1;
-                    }
-                }
-                let mut facts = vec![("solve_runs".to_string(), Json::from(runs.len() - adhoc))];
-                if adhoc > 0 {
-                    facts.push(("adhoc_runs".to_string(), Json::from(adhoc)));
-                }
-                bins.push((bin, Json::Obj(facts)));
-            }
-            None => bins.push((bin, Json::Obj(scalars(&doc)))),
-        }
+    let summary = summarize_dir(&dir);
+    for s in &summary.skipped {
+        eprintln!("[graphene] skipped {s}");
     }
 
-    // -- summary.json --------------------------------------------------
-    let summary = Json::obj([
-        ("bin", Json::from("summarize")),
-        (
-            "files",
-            Json::arr(
-                files
-                    .iter()
-                    .map(|p| Json::from(p.file_name().and_then(|n| n.to_str()).unwrap_or("?"))),
-            ),
-        ),
-        ("solves", Json::Arr(solves.clone())),
-        ("bins", Json::Obj(bins.clone())),
-        ("skipped", Json::arr(skipped.iter().map(|s| Json::from(s.as_str())))),
-    ]);
+    if summary.files.is_empty() && !summary.skipped.is_empty() {
+        // Nothing aggregatable (most likely the directory is missing):
+        // warn, still write nothing, but exit cleanly.
+        eprintln!("[graphene] nothing to summarize under {}", dir.display());
+        println!("summarized 0 files: 0 solve rows, 0 bins, {} skipped", summary.skipped.len());
+        return;
+    }
+
     let json_path = dir.join("summary.json");
-    match std::fs::write(&json_path, summary.to_pretty()) {
+    match std::fs::write(&json_path, summary.to_json().to_pretty()) {
         Ok(()) => eprintln!("[graphene] wrote {}", json_path.display()),
         Err(e) => eprintln!("[graphene] cannot write {}: {e}", json_path.display()),
     }
-
-    // -- summary.md ----------------------------------------------------
-    let mut md = String::from("# Experiment summary\n\n## Solves\n\n");
-    md.push_str("| report | n | nnz | tiles | iters | residual | device cycles | device s |\n");
-    md.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
-    for s in &solves {
-        let g = |k: &str| s.get(k).map(fmt_cell).unwrap_or_default();
-        md.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
-            g("name"),
-            g("n"),
-            g("nnz"),
-            g("tiles"),
-            g("iterations"),
-            g("final_residual"),
-            g("device_cycles"),
-            g("seconds"),
-        ));
-    }
-    md.push_str("\n## Per-binary facts\n\n");
-    for (bin, facts) in &bins {
-        md.push_str(&format!("### {bin}\n\n"));
-        let pairs = scalars(facts);
-        if pairs.is_empty() {
-            md.push_str("(no scalar facts)\n\n");
-            continue;
-        }
-        md.push_str("| key | value |\n|---|---|\n");
-        for (k, v) in pairs {
-            md.push_str(&format!("| {k} | {} |\n", fmt_cell(&v)));
-        }
-        md.push('\n');
-    }
-    if !skipped.is_empty() {
-        md.push_str("## Skipped\n\n");
-        for s in &skipped {
-            md.push_str(&format!("- {s}\n"));
-        }
-    }
     let md_path = dir.join("summary.md");
-    match std::fs::write(&md_path, &md) {
+    match std::fs::write(&md_path, summary.to_markdown()) {
         Ok(()) => eprintln!("[graphene] wrote {}", md_path.display()),
         Err(e) => eprintln!("[graphene] cannot write {}: {e}", md_path.display()),
     }
     println!(
         "summarized {} files: {} solve rows, {} bins, {} skipped",
-        files.len(),
-        solves.len(),
-        bins.len(),
-        skipped.len()
+        summary.files.len(),
+        summary.solves.len(),
+        summary.bins.len(),
+        summary.skipped.len()
     );
 }

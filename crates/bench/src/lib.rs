@@ -5,6 +5,8 @@
 //! sizes toward paper scale and print tab-separated series suitable for
 //! plotting.
 
+pub mod summary;
+
 use std::path::PathBuf;
 use std::rc::Rc;
 

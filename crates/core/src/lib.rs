@@ -15,12 +15,17 @@
 //! * [`runner`] — the one-call host API: partition a matrix, build the
 //!   program, run it, return the solution with cycle statistics and
 //!   residual history.
+//! * [`autotune`] — opt-in cost-model auto-tuning (`GRAPHENE_TUNE=1` or
+//!   `SolveOptions::tune`): scores partition/rows-per-tile/pass-toggle
+//!   candidates by a modelled-cycle SpMV probe and caches winners on disk
+//!   keyed by the matrix structure fingerprint (see the `tune` crate).
 //! * [`resilience`] — structured solve outcomes ([`SolveError`] /
 //!   [`SolveStatus`]), in-flight detectors (non-finite / divergence /
 //!   stagnation), checkpoint-rollback recovery and the bounded
 //!   graceful-degradation ladder that keep a solve honest when
 //!   `ipu_sim::fault` injects hardware faults underneath it.
 
+pub mod autotune;
 pub mod config;
 pub mod dist;
 pub mod resilience;

@@ -79,6 +79,20 @@ pub struct SolveOptions {
     /// Detection/recovery policy (`None`: [`RecoveryPolicy::resilient`]
     /// when a fault plan is active, the inert default otherwise).
     pub recovery: Option<RecoveryPolicy>,
+    /// Cost-model auto-tuning (`None`: whatever `GRAPHENE_TUNE` selects,
+    /// off when unset). When on and no explicit `partition` is given, the
+    /// tuner searches partition strategy x rows-per-tile x pass toggles by
+    /// modelled probe cycles and applies the winner; decisions are cached
+    /// on disk keyed by matrix structure (see [`crate::autotune`]).
+    pub tune: Option<bool>,
+    /// Plan-cache directory override for tuning (`None`: whatever
+    /// `GRAPHENE_TUNE_CACHE` selects, `.graphene-cache/` when unset).
+    pub tune_cache: Option<std::path::PathBuf>,
+    /// The structured grid behind the matrix, if any: lets the tuner
+    /// consider geometric `Partition::grid_3d_auto` candidates. Ignored
+    /// (with a silent fallback to the algebraic families) when its cell
+    /// count does not match the matrix.
+    pub grid: Option<sparse::gen::Grid3>,
 }
 
 impl Default for SolveOptions {
@@ -96,6 +110,9 @@ impl Default for SolveOptions {
             native_fusion: None,
             faults: None,
             recovery: None,
+            tune: None,
+            tune_cache: None,
+            grid: None,
         }
     }
 }
@@ -251,11 +268,38 @@ pub fn solve(
     let mut fault_state =
         fault_plan.as_ref().map(|p| FaultState::new(p.clone(), opts.model.num_tiles()));
 
-    let tiles = opts.pick_tiles(a.nrows);
-    let part = match &opts.partition {
-        Some(p) => p.clone(),
-        None => Partition::balanced_by_nnz(&a, tiles),
+    // ---- Auto-tuning (opt-in; zero behaviour change when off). -------
+    let tune_on = match opts.tune {
+        Some(b) => b,
+        None => crate::autotune::tune_enabled_from_env()?,
     };
+    let decision = if tune_on && opts.partition.is_none() {
+        Some(crate::autotune::tune(&a, config, opts)?)
+    } else {
+        None
+    };
+    let (tiles, part) = match &decision {
+        Some(d) => (d.tiles, d.partition.clone()),
+        None => {
+            let tiles = opts.pick_tiles(a.nrows);
+            let part = match &opts.partition {
+                Some(p) => p.clone(),
+                None => Partition::balanced_by_nnz(&a, tiles),
+            };
+            (tiles, part)
+        }
+    };
+    // The tuned pass toggle applies only when the caller left it open
+    // (a pinned toggle already constrained the search to its own value).
+    let eff_opts = match &decision {
+        Some(d) if opts.optimise.is_none() => {
+            let mut o = opts.clone();
+            o.optimise = Some(d.optimise);
+            o
+        }
+        _ => opts.clone(),
+    };
+    let opts = &eff_opts;
 
     // ---- The attempt loop. -------------------------------------------
     let mut cfg = config.clone();
@@ -293,7 +337,11 @@ pub fn solve(
                 report.host_seconds = att.host_seconds;
                 report.executor = att.executor.clone();
                 report.history = att.history.clone();
-                report.compile = Some(att.compile.clone());
+                let mut compile = att.compile.clone();
+                if let Some(d) = &decision {
+                    compile.passes.push(d.pass_stat());
+                }
+                report.compile = Some(compile);
                 report.perf = att.perf.clone().map(|mut p| {
                     // Host-side solve metrics live in the perf section's
                     // registry; device attribution stays deterministic
@@ -306,6 +354,14 @@ pub fn solve(
                     m.counter_add("solve.checkpoints", checkpoints_total);
                     m.gauge_set("solve.iterations", att.iterations as f64);
                     m.gauge_set("solve.final_residual", att.residual);
+                    if let Some(d) = &decision {
+                        m.counter_add("tune.cache_hits", d.cache_hit as u64);
+                        m.counter_add("tune.cache_misses", (!d.cache_hit) as u64);
+                        m.counter_add("tune.candidates_scored", d.candidates_scored as u64);
+                        m.counter_add("tune.search_micros", d.search_micros);
+                        m.gauge_set("tune.modelled_cycles", d.plan.modelled_cycles as f64);
+                        m.gauge_set("tune.default_cycles", d.plan.default_cycles as f64);
+                    }
                     if let Some(sel) = att.compile.pass("native-kernel-selection") {
                         m.counter_add("native.codelets_total", sel.counter("codelets_total"));
                         m.counter_add("native.codelets_fused", sel.counter("codelets_fused"));
@@ -1302,6 +1358,127 @@ mod tests {
         assert_eq!(plain.stats.label_cycles("checkpoint"), 0);
         assert!(plain.report.resilience.is_none());
         assert!(with_policy.report.resilience.is_none());
+    }
+
+    fn tmp_tune_cache(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphene-runner-tune-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tuned_solve_stamps_decision_hits_cache_and_stays_bit_identical() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab {
+            max_iters: 100,
+            rel_tol: 1e-6,
+            precond: Some(Box::new(SolverConfig::Ilu0 {})),
+        };
+        let dir = tmp_tune_cache("stamp");
+        let o = SolveOptions { tune: Some(true), tune_cache: Some(dir.clone()), ..opts(4) };
+        let cold = solve_or_panic(a.clone(), &b, &cfg, &o);
+        assert!(cold.residual < 2e-6, "residual {}", cold.residual);
+        let pass = |r: &SolveResult| {
+            r.report
+                .compile
+                .as_ref()
+                .and_then(|c| c.pass("graphene-tune"))
+                .expect("tuned solve must stamp the graphene-tune pass")
+                .clone()
+        };
+        let cp = pass(&cold);
+        assert_eq!(cp.counter("cache_hit"), 0, "{:?}", cp.counters);
+        assert!(cp.counter("candidates_scored") > 1, "{:?}", cp.counters);
+        assert!(
+            cp.counter("modelled_cycles") <= cp.counter("default_cycles"),
+            "tuned plan worse than the default heuristic: {:?}",
+            cp.counters
+        );
+        assert!(cp.counter("sell_c") > 0);
+
+        // Second solve: a cache hit, no candidates scored, and the applied
+        // plan — hence the whole solve — bit-identical to the cold run.
+        let warm = solve_or_panic(a.clone(), &b, &cfg, &o);
+        let wp = pass(&warm);
+        assert_eq!(wp.counter("cache_hit"), 1, "{:?}", wp.counters);
+        assert_eq!(wp.counter("candidates_scored"), 0, "{:?}", wp.counters);
+        assert_eq!(wp.counter("rows_per_tile"), cp.counter("rows_per_tile"));
+        assert_eq!(wp.counter("tiles"), cp.counter("tiles"));
+        let cb: Vec<u64> = cold.x.iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u64> = warm.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, wb, "cache hit must reproduce the cold-tune solve bit for bit");
+        assert_eq!(cold.stats.device_cycles(), warm.stats.device_cycles());
+
+        // Tuning disabled: no stamp, and the default heuristic path runs.
+        let off = solve_or_panic(a, &b, &cfg, &SolveOptions { tune: Some(false), ..opts(4) });
+        assert!(off
+            .report
+            .compile
+            .as_ref()
+            .map(|c| c.pass("graphene-tune").is_none())
+            .unwrap_or(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tuned_solve_reports_metrics_and_honours_pinned_partition() {
+        let a = Rc::new(poisson_2d_5pt(10, 10, 1.0));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 100, rel_tol: 1e-6, precond: None };
+        let dir = tmp_tune_cache("metrics");
+        let o = SolveOptions { tune: Some(true), tune_cache: Some(dir.clone()), ..opts(4) };
+        let res = solve_or_panic(a.clone(), &b, &cfg, &o);
+        let m = &res.report.perf.as_ref().expect("perf report").metrics;
+        assert_eq!(m.counter("tune.cache_misses"), 1);
+        assert_eq!(m.counter("tune.cache_hits"), 0);
+        assert!(m.counter("tune.candidates_scored") > 0);
+
+        // An explicit partition wins over tuning: no search, no stamp.
+        let part = Partition::contiguous(a.nrows, 3);
+        let o2 = SolveOptions {
+            tune: Some(true),
+            tune_cache: Some(dir.clone()),
+            partition: Some(part),
+            ..opts(4)
+        };
+        let pinned = solve_or_panic(a, &b, &cfg, &o2);
+        assert!(pinned
+            .report
+            .compile
+            .as_ref()
+            .map(|c| c.pass("graphene-tune").is_none())
+            .unwrap_or(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tuned_solve_with_grid_considers_geometric_candidates() {
+        let a = Rc::new(poisson_3d_7pt(4, 4, 4));
+        let b = rhs_for_ones(&a);
+        let cfg = SolverConfig::BiCgStab { max_iters: 150, rel_tol: 1e-5, precond: None };
+        let dir = tmp_tune_cache("grid");
+        let o = SolveOptions {
+            tune: Some(true),
+            tune_cache: Some(dir.clone()),
+            grid: Some(sparse::gen::Grid3 { nx: 4, ny: 4, nz: 4 }),
+            ..opts(4)
+        };
+        let res = solve_or_panic(a, &b, &cfg, &o);
+        assert!(res.residual < 1e-4, "residual {}", res.residual);
+        let pass = res
+            .report
+            .compile
+            .as_ref()
+            .and_then(|c| c.pass("graphene-tune"))
+            .expect("stamp present")
+            .clone();
+        // Whatever family won, it was a real search over >2 candidates
+        // (the geometric family was enumerable).
+        assert!(pass.counter("candidates_scored") > 2, "{:?}", pass.counters);
+        assert!(pass.counters.iter().any(|(k, _)| k.starts_with("strategy.")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

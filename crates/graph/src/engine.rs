@@ -118,7 +118,7 @@ impl Default for EngineOptions {
 }
 
 impl EngineOptions {
-    /// Parse the `GRAPHENE_PAR` environment variable: unset, `0`,
+    /// Parse the `GRAPHENE_PAR` environment variable: unset, empty, `0`,
     /// `false`, `off` or `no` select the sequential executor; `1`,
     /// `true`, `on` or `yes` select the parallel executor with one
     /// worker per core; an integer `N >= 2` caps the workers at `N`.
@@ -128,20 +128,26 @@ impl EngineOptions {
     /// parsed after it); `GRAPHENE_NATIVE=0` leaves the executor choice
     /// alone but force-disables kernel fusion, so a native engine falls
     /// back to the interpreter for every codelet.
+    ///
+    /// Any other value **panics** with the offending string: a typo'd
+    /// knob silently running the wrong executor is far worse than a loud
+    /// failure (an empty value counts as unset, as CI matrix templating
+    /// produces empty strings for absent legs).
     pub fn from_env() -> Self {
         let mut o = match std::env::var("GRAPHENE_PAR") {
             Err(_) => EngineOptions::default(),
             Ok(v) => Self::parse_par(&v),
         };
         if let Ok(v) = std::env::var("GRAPHENE_LEGACY_INTERP") {
-            o.legacy_interpreter =
-                matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes");
+            if let Some(b) = parse_env_bool("GRAPHENE_LEGACY_INTERP", &v) {
+                o.legacy_interpreter = b;
+            }
         }
         if let Ok(v) = std::env::var("GRAPHENE_NATIVE") {
-            match v.trim().to_ascii_lowercase().as_str() {
-                "1" | "true" | "on" | "yes" => o.executor = ExecutorKind::Native,
-                "0" | "false" | "off" | "no" => o.native_fusion = false,
-                _ => {}
+            match parse_env_bool("GRAPHENE_NATIVE", &v) {
+                Some(true) => o.executor = ExecutorKind::Native,
+                Some(false) => o.native_fusion = false,
+                None => {}
             }
         }
         o
@@ -154,12 +160,19 @@ impl EngineOptions {
                 EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() }
             }
             other => match other.parse::<usize>() {
-                Ok(n) if n >= 2 => EngineOptions {
+                Ok(0) => EngineOptions::default(),
+                Ok(1) => {
+                    EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() }
+                }
+                Ok(n) => EngineOptions {
                     executor: ExecutorKind::Parallel,
                     threads: n,
                     ..EngineOptions::default()
                 },
-                _ => EngineOptions::default(),
+                Err(_) => panic!(
+                    "GRAPHENE_PAR: unrecognised value `{v}` \
+                     (expected 0/1/true/false/on/off/yes/no or a worker count)"
+                ),
             },
         }
     }
@@ -169,6 +182,21 @@ impl EngineOptions {
             rayon::current_num_threads()
         } else {
             self.threads
+        }
+    }
+}
+
+/// Strict tri-state parse of a boolean env knob: `None` for an empty
+/// value (treated as unset — CI matrix templating produces empty strings
+/// for absent legs), `Some(bool)` for the recognised spellings, and a
+/// panic naming the variable and the offending string for anything else.
+fn parse_env_bool(var: &str, v: &str) -> Option<bool> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" => None,
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        other => {
+            panic!("{var}: unrecognised value `{other}` (expected 0/1/true/false/on/off/yes/no)")
         }
     }
 }
@@ -2268,16 +2296,60 @@ mod tests {
             ("false", Sequential, 0),
             ("off", Sequential, 0),
             ("", Sequential, 0),
-            ("garbage", Sequential, 0),
             ("1", Parallel, 0),
             ("true", Parallel, 0),
             ("ON", Parallel, 0),
             ("2", Parallel, 2),
             ("8", Parallel, 8),
+            ("01", Parallel, 0),
         ] {
             let o = EngineOptions::parse_par(v);
             assert_eq!((o.executor, o.threads), (kind, threads), "GRAPHENE_PAR={v}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "GRAPHENE_PAR: unrecognised value `garbage`")]
+    fn graphene_par_garbage_fails_loudly() {
+        EngineOptions::parse_par("garbage");
+    }
+
+    #[test]
+    #[should_panic(expected = "GRAPHENE_PAR: unrecognised value `-3`")]
+    fn graphene_par_negative_fails_loudly() {
+        EngineOptions::parse_par("-3");
+    }
+
+    #[test]
+    fn env_bool_knobs_parse() {
+        for (v, want) in [
+            ("", None),
+            ("  ", None),
+            ("1", Some(true)),
+            ("TRUE", Some(true)),
+            ("on", Some(true)),
+            ("yes", Some(true)),
+            ("0", Some(false)),
+            ("false", Some(false)),
+            ("Off", Some(false)),
+            ("no", Some(false)),
+        ] {
+            assert_eq!(parse_env_bool("GRAPHENE_NATIVE", v), want, "value `{v}`");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "GRAPHENE_NATIVE: unrecognised value `maybe`")]
+    fn graphene_native_garbage_fails_loudly() {
+        parse_env_bool("GRAPHENE_NATIVE", "maybe");
+    }
+
+    #[test]
+    #[should_panic(expected = "GRAPHENE_LEGACY_INTERP: unrecognised value `2`")]
+    fn graphene_legacy_interp_garbage_fails_loudly() {
+        // `2` is a worker count for GRAPHENE_PAR but meaningless for a
+        // pure on/off knob — it must not silently read as "off".
+        parse_env_bool("GRAPHENE_LEGACY_INTERP", "2");
     }
 
     #[test]

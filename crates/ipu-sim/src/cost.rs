@@ -7,6 +7,13 @@
 //! can dual-issue one floating-point instruction with one load/store or
 //! integer instruction, and single-cycle conditional branches.
 
+/// Revision of the cycle cost model. Bump this whenever a change alters
+/// *any* modelled cycle count (arithmetic rates, exchange fabric costs,
+/// sync charges, ...): persisted artifacts scored against the model — most
+/// importantly the tuned-plan cache (`graphene-tune`) — key on it so stale
+/// scores are invalidated rather than silently reused.
+pub const COST_MODEL_REVISION: u32 = 1;
+
 /// Data types that exist on the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DType {

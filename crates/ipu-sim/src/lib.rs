@@ -37,7 +37,7 @@ pub mod model;
 pub mod threading;
 
 pub use clock::{CycleStats, Phase};
-pub use cost::{CostModel, DType, Op};
+pub use cost::{CostModel, DType, Op, COST_MODEL_REVISION};
 pub use exchange::{BlockCopy, ExchangeProgram, RegionKey};
 pub use fault::{Fault, FaultEvent, FaultKind, FaultPlan};
 pub use memory::TileMemory;

@@ -1,0 +1,170 @@
+//! Matrix **structure fingerprints** for the tuned-plan cache.
+//!
+//! A fingerprint summarises the *sparsity structure* of a matrix — shape,
+//! nnz, a log₂ row-nnz histogram and a log₂ bandwidth (|i−j|) histogram —
+//! and folds the summary into a stable `u64` digest with splitmix64. Two
+//! matrices with the same structure (regardless of their numeric values)
+//! share a digest; the auto-tuner (`graphene-tune`) uses it to key the
+//! persistent plan cache, so a tuned configuration found for one matrix is
+//! reused for every later matrix of the same structure.
+//!
+//! The digest is a pure function of the structure: no wall-clock, RNG,
+//! pointer or host-environment inputs, so it is stable across processes,
+//! platforms and runs — a cache written yesterday hits today.
+
+use crate::formats::CsrMatrix;
+
+/// Number of log₂ buckets in each histogram. Bucket `k < HIST_BUCKETS-1`
+/// counts entries with `floor(log2(v)) + 1 == k` (bucket 0 holds `v == 0`);
+/// the last bucket absorbs everything larger.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Structural summary of a sparse matrix with a stable `u64` digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructureFingerprint {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    /// `row_nnz_hist[k]` = rows whose nnz falls in log₂ bucket `k`
+    /// (sums to `nrows`).
+    pub row_nnz_hist: [u64; HIST_BUCKETS],
+    /// `bandwidth_hist[k]` = entries whose |i−j| falls in log₂ bucket `k`
+    /// (sums to `nnz`).
+    pub bandwidth_hist: [u64; HIST_BUCKETS],
+    /// splitmix64 fold of every field above.
+    pub digest: u64,
+}
+
+/// One splitmix64 step — the same finaliser `ipu_sim::fault` uses for its
+/// deterministic fault streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fold one word into a running digest.
+#[inline]
+pub fn fold64(digest: u64, word: u64) -> u64 {
+    let mut state = digest ^ word;
+    splitmix64(&mut state)
+}
+
+/// Fold a byte string (e.g. a canonical config rendering) into a digest.
+pub fn fold_bytes(mut digest: u64, bytes: &[u8]) -> u64 {
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        digest = fold64(digest, u64::from_le_bytes(word));
+    }
+    fold64(digest, bytes.len() as u64)
+}
+
+/// log₂ bucket of a magnitude: 0 for 0, else `min(floor(log2 v)+1, last)`.
+#[inline]
+fn bucket(v: usize) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((usize::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl StructureFingerprint {
+    /// Fingerprint the structure of `a`. O(nnz); ignores numeric values.
+    pub fn of(a: &CsrMatrix) -> StructureFingerprint {
+        let mut row_nnz_hist = [0u64; HIST_BUCKETS];
+        let mut bandwidth_hist = [0u64; HIST_BUCKETS];
+        for row in 0..a.nrows {
+            row_nnz_hist[bucket(a.row_nnz(row))] += 1;
+            let (start, end) = (a.row_ptr[row], a.row_ptr[row + 1]);
+            for &col in &a.col_idx[start..end] {
+                bandwidth_hist[bucket(row.abs_diff(col as usize))] += 1;
+            }
+        }
+        let mut digest = 0x5155_4c49_5052_4e47; // arbitrary fixed seed
+        digest = fold64(digest, a.nrows as u64);
+        digest = fold64(digest, a.ncols as u64);
+        digest = fold64(digest, a.nnz() as u64);
+        for &h in row_nnz_hist.iter().chain(&bandwidth_hist) {
+            digest = fold64(digest, h);
+        }
+        StructureFingerprint {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            nnz: a.nnz(),
+            row_nnz_hist,
+            bandwidth_hist,
+            digest,
+        }
+    }
+
+    /// The digest as a fixed-width hex string (cache file names).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::CooMatrix;
+    use crate::gen::{poisson_2d_5pt, tridiagonal};
+
+    #[test]
+    fn digest_is_deterministic_and_value_independent() {
+        let a = poisson_2d_5pt(7, 5, 1.0);
+        let f1 = StructureFingerprint::of(&a);
+        let f2 = StructureFingerprint::of(&a);
+        assert_eq!(f1, f2);
+
+        // Same structure, different values: identical digest.
+        let mut b = a.clone();
+        for v in &mut b.values {
+            *v *= 3.25;
+        }
+        assert_eq!(StructureFingerprint::of(&b).digest, f1.digest);
+    }
+
+    #[test]
+    fn digest_is_structure_sensitive() {
+        let a = StructureFingerprint::of(&tridiagonal(40));
+        let b = StructureFingerprint::of(&tridiagonal(41));
+        assert_ne!(a.digest, b.digest, "row count must perturb the digest");
+
+        // Same shape and nnz count, different bandwidth profile.
+        let mut near = CooMatrix::new(40, 40);
+        let mut far = CooMatrix::new(40, 40);
+        for i in 0..40 {
+            near.push(i, i, 1.0);
+            far.push(i, i, 1.0);
+            if i + 1 < 40 {
+                near.push(i, i + 1, 1.0);
+                far.push(i, (i + 20) % 40, 1.0);
+            }
+        }
+        let fn_ = StructureFingerprint::of(&near.to_csr());
+        let ff = StructureFingerprint::of(&far.to_csr());
+        assert_eq!(fn_.nnz, ff.nnz);
+        assert_ne!(fn_.digest, ff.digest, "bandwidth histogram must perturb the digest");
+    }
+
+    #[test]
+    fn histograms_partition_rows_and_nnz() {
+        let a = poisson_2d_5pt(9, 9, 1.0);
+        let f = StructureFingerprint::of(&a);
+        assert_eq!(f.row_nnz_hist.iter().sum::<u64>(), a.nrows as u64);
+        assert_eq!(f.bandwidth_hist.iter().sum::<u64>(), a.nnz() as u64);
+        assert_eq!(f.hex().len(), 16);
+    }
+
+    #[test]
+    fn fold_bytes_separates_lengths() {
+        // "ab" + "c" must not collide with "a" + "bc".
+        let h1 = fold_bytes(fold_bytes(7, b"ab"), b"c");
+        let h2 = fold_bytes(fold_bytes(7, b"a"), b"bc");
+        assert_ne!(h1, h2);
+    }
+}

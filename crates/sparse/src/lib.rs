@@ -27,6 +27,7 @@
 //! * [`sell`] — the Sliced ELLPACK format the paper defers to future work
 //!   (§II-C), implemented so its IPU hypothesis can be tested.
 
+pub mod fingerprint;
 pub mod formats;
 pub mod gen;
 pub mod halo;

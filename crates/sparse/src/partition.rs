@@ -43,6 +43,13 @@ impl Partition {
 
     /// Contiguous row blocks balanced by nonzero count — the load balance
     /// that matters for SpMV, where per-row cost is proportional to nnz.
+    ///
+    /// Whenever `num_rows >= num_parts`, every part is guaranteed at least
+    /// one row: if the accumulated nnz stalls below the next threshold
+    /// (light head rows ahead of a heavy tail), advancement is forced once
+    /// the remaining rows are only just enough to feed the remaining
+    /// parts. Over-decomposed problems (`num_rows < num_parts`) still
+    /// leave trailing parts empty, as documented on [`Partition::parts`].
     pub fn balanced_by_nnz(a: &CsrMatrix, num_parts: usize) -> Self {
         assert!(num_parts > 0);
         let total = a.nnz() as f64;
@@ -51,9 +58,18 @@ impl Partition {
         let mut acc = 0.0;
         let mut part = 0u32;
         for row in 0..a.nrows {
-            // Advance to the next part when this one has its share, but
-            // never leave later parts without rows to take.
-            if acc >= per_part * (part as f64 + 1.0) && (part as usize) < num_parts - 1 {
+            // Advance to the next part when this one has its share (the
+            // `acc > 0` guard keeps all-zero matrices from starving part
+            // 0), but never beyond the last part...
+            let wants = acc > 0.0
+                && acc >= per_part * (part as f64 + 1.0)
+                && (part as usize) < num_parts - 1;
+            // ...and advance unconditionally once the unassigned rows are
+            // exactly enough to give each remaining part one row — the
+            // guarantee the cap alone cannot provide.
+            let parts_after = num_parts - 1 - part as usize;
+            let must = a.nrows >= num_parts && a.nrows - row <= parts_after;
+            if wants || must {
                 part += 1;
             }
             owner[row] = part;
@@ -88,8 +104,17 @@ impl Partition {
     /// the box decomposition. Falls back to slabs if the grid is too small
     /// along an axis.
     pub fn grid_3d_auto(grid: Grid3, num_parts: usize) -> Self {
-        let (px, py, pz) = factor3(num_parts, grid.nx, grid.ny, grid.nz);
-        Self::grid_3d(grid, px, py, pz)
+        Self::try_grid_3d_auto(grid, num_parts).unwrap_or_else(|| {
+            panic!("cannot factor {num_parts} parts into grid {}x{}x{}", grid.nx, grid.ny, grid.nz)
+        })
+    }
+
+    /// [`Partition::grid_3d_auto`] returning `None` instead of panicking
+    /// when `num_parts` has no factorisation bounded by the grid — the
+    /// auto-tuner uses this to filter unfeasible geometric candidates.
+    pub fn try_grid_3d_auto(grid: Grid3, num_parts: usize) -> Option<Self> {
+        let (px, py, pz) = try_factor3(num_parts, grid.nx, grid.ny, grid.nz)?;
+        Some(Self::grid_3d(grid, px, py, pz))
     }
 
     pub fn num_parts(&self) -> usize {
@@ -156,9 +181,10 @@ impl Partition {
     }
 }
 
-/// Factor `n` into three near-equal factors bounded by the grid dimensions.
-fn factor3(n: usize, nx: usize, ny: usize, nz: usize) -> (usize, usize, usize) {
-    let mut best = (n.min(nx), 1, 1);
+/// Factor `n` into three near-equal factors bounded by the grid
+/// dimensions; `None` when no bounded factorisation exists.
+fn try_factor3(n: usize, nx: usize, ny: usize, nz: usize) -> Option<(usize, usize, usize)> {
+    let mut best = None;
     let mut best_score = f64::INFINITY;
     for px in 1..=n {
         if n % px != 0 || px > nx {
@@ -182,11 +208,10 @@ fn factor3(n: usize, nx: usize, ny: usize, nz: usize) -> (usize, usize, usize) {
             let score = sx * sy + sy * sz + sx * sz;
             if score < best_score {
                 best_score = score;
-                best = (px, py, pz);
+                best = Some((px, py, pz));
             }
         }
     }
-    assert_eq!(best.0 * best.1 * best.2, n, "cannot factor {n} parts into grid {nx}x{ny}x{nz}");
     best
 }
 
@@ -279,5 +304,65 @@ mod tests {
         // 7 parts across a 2x2x2 grid cannot work (7 > 2 on every axis and
         // prime).
         Partition::grid_3d_auto(Grid3 { nx: 2, ny: 2, nz: 2 }, 7);
+    }
+
+    #[test]
+    fn try_grid_auto_reports_feasibility() {
+        assert!(Partition::try_grid_3d_auto(Grid3 { nx: 2, ny: 2, nz: 2 }, 7).is_none());
+        let p = Partition::try_grid_3d_auto(Grid3 { nx: 4, ny: 4, nz: 4 }, 8).unwrap();
+        assert_eq!(p.num_parts(), 8);
+        assert!(p.validate());
+    }
+
+    /// Regression: a heavy row after a light head used to stall `acc`
+    /// below every threshold, so the cap's "never leave later parts
+    /// without rows" promise was broken — all trailing parts came back
+    /// empty. Every part must get at least one row when
+    /// `num_rows >= num_parts`.
+    #[test]
+    fn balanced_by_nnz_never_leaves_parts_empty() {
+        // One dense row carrying ~97% of the nnz; every other row a lone
+        // diagonal. Placing the heavy row last starves the accumulator.
+        let build = |heavy_row: usize, n: usize| {
+            let mut coo = crate::formats::CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0);
+            }
+            for j in 0..n {
+                if j != heavy_row {
+                    coo.push(heavy_row, j, 0.5);
+                }
+            }
+            coo.to_csr()
+        };
+        for n in [4usize, 8, 17] {
+            for heavy_row in [0, n / 2, n - 1] {
+                let a = build(heavy_row, n);
+                for parts in 1..=n {
+                    let p = Partition::balanced_by_nnz(&a, parts);
+                    assert!(p.validate());
+                    assert!(
+                        p.parts.iter().all(|rows| !rows.is_empty()),
+                        "empty part: n={n} heavy_row={heavy_row} parts={parts} sizes={:?}",
+                        p.parts.iter().map(Vec::len).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        // All-zero-structure edge (nnz = 0 everywhere is impossible in
+        // CSR-with-diagonal workloads, but the identity-free case must
+        // still cover every part).
+        let empty = crate::formats::CooMatrix::new(5, 5).to_csr();
+        let p = Partition::balanced_by_nnz(&empty, 5);
+        assert!(p.validate());
+        assert!(p.parts.iter().all(|rows| rows.len() == 1));
+    }
+
+    #[test]
+    fn balanced_by_nnz_overdecomposed_stays_supported() {
+        let a = tridiagonal(3);
+        let p = Partition::balanced_by_nnz(&a, 8);
+        assert!(p.validate());
+        assert_eq!(p.parts.iter().filter(|r| !r.is_empty()).count(), 3);
     }
 }

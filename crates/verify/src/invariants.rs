@@ -147,11 +147,24 @@ pub fn assert_executor_equivalence(
     b: &[f64],
     config: &SolverConfig,
 ) -> ExecutorEquivalence {
+    assert_executor_equivalence_with(a, b, config, &sim_opts())
+}
+
+/// [`assert_executor_equivalence`] over caller-supplied base options —
+/// the same four-legged sweep, but e.g. with auto-tuning enabled or a
+/// bigger machine. Only the executor selection is overridden per leg;
+/// everything else in `base` is honoured.
+pub fn assert_executor_equivalence_with(
+    a: Rc<CsrMatrix>,
+    b: &[f64],
+    config: &SolverConfig,
+    base: &SolveOptions,
+) -> ExecutorEquivalence {
     let with = |executor, native_fusion| SolveOptions {
         executor: Some(executor),
         native_fusion,
         record_history: true,
-        ..sim_opts()
+        ..base.clone()
     };
     let rs = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Sequential, None));
     let rp = solve_or_panic(a.clone(), b, config, &with(ExecutorKind::Parallel, None));

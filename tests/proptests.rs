@@ -182,6 +182,48 @@ proptest! {
     }
 
     #[test]
+    fn all_partition_families_validate_and_leave_no_part_empty(
+        a in arb_spd(60),
+        parts in 1usize..9,
+    ) {
+        // Whenever num_parts <= num_rows, every family must cover all rows
+        // exactly once AND give every part at least one row (the
+        // balanced_by_nnz empty-tail regression).
+        prop_assume!(parts <= a.nrows);
+        for (name, p) in [
+            ("contiguous", Partition::contiguous(a.nrows, parts)),
+            ("balanced_by_nnz", Partition::balanced_by_nnz(&a, parts)),
+        ] {
+            prop_assert!(p.validate(), "{}: validate() failed", name);
+            prop_assert_eq!(p.num_rows(), a.nrows);
+            prop_assert_eq!(p.num_parts(), parts);
+            for (i, rows) in p.parts.iter().enumerate() {
+                prop_assert!(!rows.is_empty(), "{}: part {} of {} empty", name, i, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partitions_validate_and_leave_no_part_empty(
+        nx in 2usize..7, ny in 2usize..7, nz in 2usize..7,
+        px in 1usize..4, py in 1usize..4, pz in 1usize..4,
+    ) {
+        prop_assume!(px <= nx && py <= ny && pz <= nz);
+        let grid = graphene::sparse::gen::Grid3 { nx, ny, nz };
+        let parts = px * py * pz;
+        // (px, py, pz) is a witness that `parts` factors within the grid,
+        // so the exhaustive auto search must succeed too.
+        let p = Partition::try_grid_3d_auto(grid, parts)
+            .expect("feasible part count must factor");
+        prop_assert!(p.validate());
+        prop_assert_eq!(p.num_rows(), grid.num_cells());
+        prop_assert_eq!(p.num_parts(), parts);
+        for (i, rows) in p.parts.iter().enumerate() {
+            prop_assert!(!rows.is_empty(), "grid part {} of {} empty", i, parts);
+        }
+    }
+
+    #[test]
     fn halo_invariants(a in arb_spd(50), parts in 2usize..6) {
         let p = Partition::balanced_by_nnz(&a, parts);
         let h = HaloDecomposition::build(&a, &p);

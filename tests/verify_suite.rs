@@ -19,7 +19,8 @@ use graphene::sparse::io::{read_matrix_market, write_matrix_market_with, MmSymme
 use verify::differential::{all_case_names, check_cases, run_two_grid};
 use verify::generators;
 use verify::invariants::{
-    assert_deterministic, assert_executor_equivalence, audit_exchange_conservation,
+    assert_deterministic, assert_executor_equivalence, assert_executor_equivalence_with,
+    audit_exchange_conservation,
 };
 use verify::plan_equiv::assert_plan_equivalence;
 use verify::resilience::{
@@ -130,6 +131,60 @@ fn plans_are_equivalent_across_suite() {
             case.name
         );
     }
+}
+
+/// Auto-tuning must preserve both halves of the determinism contract: a
+/// plan-cache hit reproduces the cold-tune solve bit for bit, and the
+/// tuned configuration stays bit-and-cycle-identical across all four host
+/// executors.
+#[test]
+fn tuned_solves_hit_the_cache_and_stay_executor_equivalent() {
+    use graphene::graphene_core::runner::{solve_or_panic, SolveOptions, SolveResult};
+
+    let a = Rc::new(poisson_2d_5pt(8, 8, 1.0));
+    let b = rhs_for_ones(&a);
+    let cfg = SolverConfig::BiCgStab {
+        max_iters: 50,
+        rel_tol: 1e-6,
+        precond: Some(Box::new(SolverConfig::Ilu0 {})),
+    };
+    let cache = std::env::temp_dir().join(format!("graphene-verify-tune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let base = SolveOptions {
+        model: graphene::dsl::prelude::IpuModel::tiny(4),
+        tiles: Some(4),
+        tune: Some(true),
+        tune_cache: Some(cache.clone()),
+        ..SolveOptions::default()
+    };
+
+    let pass = |r: &SolveResult, key: &str| {
+        r.report
+            .compile
+            .as_ref()
+            .and_then(|c| c.pass("graphene-tune"))
+            .expect("tuned solve stamps graphene-tune")
+            .counter(key)
+    };
+    // Cold tune, then a warm solve that must come from the cache with the
+    // search skipped entirely...
+    let cold = solve_or_panic(a.clone(), &b, &cfg, &base);
+    assert_eq!(pass(&cold, "cache_hit"), 0);
+    assert!(pass(&cold, "candidates_scored") > 0);
+    let warm = solve_or_panic(a.clone(), &b, &cfg, &base);
+    assert_eq!(pass(&warm, "cache_hit"), 1);
+    assert_eq!(pass(&warm, "candidates_scored"), 0);
+    // ...and be bit-identical to it.
+    let cb: Vec<u64> = cold.x.iter().map(|v| v.to_bits()).collect();
+    let wb: Vec<u64> = warm.x.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(cb, wb, "cache hit diverged from the cold tune");
+    assert_eq!(cold.stats.device_cycles(), warm.stats.device_cycles());
+
+    // The tuned (cache-hit) configuration keeps the four-way executor
+    // equivalence contract.
+    let eq = assert_executor_equivalence_with(a, &b, &cfg, &base);
+    assert!(eq.device_cycles > 0);
+    let _ = std::fs::remove_dir_all(&cache);
 }
 
 // ---- fault-injection resilience ---------------------------------------
