@@ -1,0 +1,227 @@
+//! The native f64 CPU backend — `baselines::cpu` behind the [`Backend`]
+//! trait. This is the HYPRE analogue of the paper's evaluation (§VI-A),
+//! promoted from a bench-only helper to a first-class backend: it shares
+//! the sparse formats, the solver-config wire grammar and the
+//! `SolveReport` schema with the simulator, and reports measured host
+//! wall-clock time ([`Timing::Wall`]).
+
+use baselines::{CpuMethod, CpuSolver};
+use json::Json;
+
+use crate::{Backend, BackendError, BackendRun, Capabilities, PreparedPlan, SolvePlan, Timing};
+
+/// The CPU baseline as a backend: BiCGStab or CG, optionally
+/// ILU(0)-preconditioned, in f64.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuBackend {
+    /// Rayon row-block parallel SpMV (bit-identical numerics — the
+    /// per-row accumulation stays sequential).
+    pub parallel: bool,
+}
+
+impl CpuBackend {
+    pub fn new(parallel: bool) -> CpuBackend {
+        CpuBackend { parallel }
+    }
+}
+
+/// Solver shape the CPU baseline implements, lowered from the config JSON.
+pub(crate) struct KrylovShape {
+    pub method: CpuMethod,
+    pub max_iters: usize,
+    pub rel_tol: f64,
+    pub use_ilu: bool,
+}
+
+/// Lower a solver-config JSON (`SolverConfig::to_value` wire format) to
+/// the Krylov shape the baselines implement. Returns a human-readable
+/// description of the unsupported piece on mismatch.
+pub(crate) fn lower_solver(solver: &Json) -> Result<KrylovShape, String> {
+    let ty = solver
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "a solver config without a `type` tag".to_string())?;
+    let method = match ty {
+        "cg" => CpuMethod::Cg,
+        "bi_cg_stab" => CpuMethod::BiCgStab,
+        other => {
+            return Err(format!(
+                "solver `{other}` (supported: cg, bi_cg_stab, each optionally with an ilu0 precond)"
+            ))
+        }
+    };
+    let max_iters = solver.get("max_iters").and_then(Json::as_u64).unwrap_or(100) as usize;
+    let rel_tol = solver.get("rel_tol").and_then(Json::as_f64).unwrap_or(0.0);
+    let use_ilu = match solver.get("precond") {
+        None => false,
+        Some(p) if p.is_null() => false,
+        Some(p) => match p.get("type").and_then(Json::as_str) {
+            Some("ilu0") => true,
+            Some(other) => {
+                return Err(format!("preconditioner `{other}` (supported: ilu0 or none)"))
+            }
+            None => return Err("a preconditioner config without a `type` tag".to_string()),
+        },
+    };
+    Ok(KrylovShape { method, max_iters, rel_tol, use_ilu })
+}
+
+impl Backend for CpuBackend {
+    fn name(&self) -> String {
+        if self.parallel { "cpu:par" } else { "cpu" }.to_string()
+    }
+
+    fn family(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { wall_clock: true, parallel_host: self.parallel, ..Capabilities::default() }
+    }
+
+    fn prepare(&self, plan: &SolvePlan) -> Result<Box<dyn PreparedPlan>, BackendError> {
+        let shape = lower_solver(&plan.solver)
+            .map_err(|what| BackendError::Unsupported { backend: self.name(), what })?;
+        Ok(Box::new(CpuPrepared { backend: *self, shape, plan: plan.clone() }))
+    }
+}
+
+struct CpuPrepared {
+    backend: CpuBackend,
+    shape: KrylovShape,
+    plan: SolvePlan,
+}
+
+impl PreparedPlan for CpuPrepared {
+    fn execute(&mut self, b: &[f64], x0: Option<&[f64]>) -> Result<BackendRun, BackendError> {
+        let a = &self.plan.a;
+        if b.len() != a.nrows {
+            return Err(BackendError::Failed {
+                backend: self.backend.name(),
+                reason: format!("rhs length {} != n {}", b.len(), a.nrows),
+            });
+        }
+        let solver = CpuSolver {
+            max_iters: self.shape.max_iters,
+            rel_tol: self.shape.rel_tol,
+            use_ilu: self.shape.use_ilu,
+            method: self.shape.method,
+            parallel: self.backend.parallel,
+        };
+        let mut x = vec![0.0; a.nrows];
+        let stats = solver.solve_from(a, b, &mut x, x0);
+        let report = stats.to_solve_report(&self.backend.name(), self.plan.solver.clone(), a);
+        let history = if self.plan.record_history { stats.history.clone() } else { Vec::new() };
+        Ok(BackendRun {
+            x,
+            residual: stats.relative_residual,
+            iterations: stats.iterations,
+            history,
+            timing: Timing::Wall { seconds: stats.solve_seconds },
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use sparse::formats::CsrMatrix;
+    use sparse::gen::tridiagonal;
+
+    use super::*;
+
+    fn tridiag(n: usize) -> Rc<CsrMatrix> {
+        Rc::new(tridiagonal(n))
+    }
+
+    fn krylov(ty: &str, precond: Option<&str>) -> Json {
+        let mut fields = vec![
+            ("type".to_string(), Json::Str(ty.to_string())),
+            ("max_iters".to_string(), Json::Num(200.0)),
+            ("rel_tol".to_string(), Json::Num(1e-10)),
+        ];
+        if let Some(p) = precond {
+            fields.push((
+                "precond".to_string(),
+                Json::obj([("type".to_string(), Json::Str(p.to_string()))]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    #[test]
+    fn cpu_backend_solves_supported_configs() {
+        let a = tridiag(64);
+        let b = vec![1.0; 64];
+        for ty in ["cg", "bi_cg_stab"] {
+            for precond in [None, Some("ilu0")] {
+                let plan = SolvePlan {
+                    a: Rc::clone(&a),
+                    solver: krylov(ty, precond),
+                    record_history: true,
+                };
+                let backend = CpuBackend::new(false);
+                let mut prepared = backend.prepare(&plan).unwrap();
+                let run = prepared.execute(&b, None).unwrap();
+                assert!(run.residual < 1e-8, "{ty} {precond:?}: {}", run.residual);
+                assert!(run.iterations > 0);
+                assert!(!run.history.is_empty());
+                assert_eq!(run.timing.kind(), "wall-clock");
+                let info = run.report.backend.as_ref().unwrap();
+                assert_eq!(info.family, "cpu");
+                assert_eq!(info.timing, "wall-clock");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_cpu_are_bit_identical() {
+        let a = tridiag(97);
+        let b: Vec<f64> = (0..97).map(|i| (i as f64 * 0.37).sin()).collect();
+        let plan = SolvePlan {
+            a: Rc::clone(&a),
+            solver: krylov("bi_cg_stab", Some("ilu0")),
+            record_history: false,
+        };
+        let run_seq = CpuBackend::new(false).prepare(&plan).unwrap().execute(&b, None).unwrap();
+        let run_par = CpuBackend::new(true).prepare(&plan).unwrap().execute(&b, None).unwrap();
+        assert_eq!(run_seq.x, run_par.x, "parallel SpMV must not change bits");
+        assert_eq!(run_seq.iterations, run_par.iterations);
+    }
+
+    #[test]
+    fn unsupported_solvers_are_typed_refusals() {
+        let a = tridiag(8);
+        let plan = SolvePlan {
+            a,
+            solver: Json::obj([("type".to_string(), Json::Str("jacobi".to_string()))]),
+            record_history: false,
+        };
+        let err = match CpuBackend::new(false).prepare(&plan) {
+            Ok(_) => panic!("jacobi must be refused by the cpu backend"),
+            Err(e) => e,
+        };
+        match err {
+            BackendError::Unsupported { backend, what } => {
+                assert_eq!(backend, "cpu");
+                assert!(what.contains("jacobi"), "{what}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_guess_is_honoured() {
+        let a = tridiag(32);
+        let b = vec![2.0; 32];
+        let plan =
+            SolvePlan { a: Rc::clone(&a), solver: krylov("cg", None), record_history: false };
+        let mut prepared = CpuBackend::new(false).prepare(&plan).unwrap();
+        let exact = prepared.execute(&b, None).unwrap();
+        // Starting from the solution: residual immediately at the bottom.
+        let warm = prepared.execute(&b, Some(&exact.x)).unwrap();
+        assert!(warm.iterations <= 1, "warm start from the solution: {}", warm.iterations);
+    }
+}

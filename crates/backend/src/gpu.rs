@@ -1,0 +1,197 @@
+//! The GPU roofline-model backend — `baselines::gpu` behind the
+//! [`Backend`] trait. The cuSPARSE-on-H100 analogue of the paper's
+//! evaluation (§VI-A): the *numerics* run on the host (sequential f64,
+//! bit-reproducible), the *time* is derived analytically from the H100
+//! roofline model — iterations × modelled per-iteration seconds, reported
+//! as [`Timing::Modelled`]. The capability matrix is honest about this:
+//! no fault injection, no auto-tuning, no perf attribution — asking for
+//! any of them is a typed [`BackendError::Unsupported`].
+
+use baselines::cpu::Ilu0Factors;
+use baselines::{CpuMethod, CpuSolver, GpuModel};
+use profile::BackendInfo;
+
+use crate::cpu::{lower_solver, KrylovShape};
+use crate::{Backend, BackendError, BackendRun, Capabilities, PreparedPlan, SolvePlan, Timing};
+
+/// The H100 roofline model as a backend.
+#[derive(Clone, Debug)]
+pub struct GpuModelBackend {
+    pub model: GpuModel,
+}
+
+impl GpuModelBackend {
+    /// The paper's comparison GPU (H100 SXM).
+    pub fn h100() -> GpuModelBackend {
+        GpuModelBackend { model: GpuModel::h100() }
+    }
+}
+
+impl Default for GpuModelBackend {
+    fn default() -> Self {
+        GpuModelBackend::h100()
+    }
+}
+
+impl Backend for GpuModelBackend {
+    fn name(&self) -> String {
+        "gpu-model".to_string()
+    }
+
+    fn family(&self) -> &'static str {
+        "gpu-model"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { modelled_time: true, ..Capabilities::default() }
+    }
+
+    fn prepare(&self, plan: &SolvePlan) -> Result<Box<dyn PreparedPlan>, BackendError> {
+        let shape = lower_solver(&plan.solver)
+            .map_err(|what| BackendError::Unsupported { backend: self.name(), what })?;
+        // The analysis phase cuSPARSE would run: derive the triangular-
+        // solve level structure once, at prepare time.
+        let levels = shape.use_ilu.then(|| Ilu0Factors::new(&plan.a).level_counts());
+        Ok(Box::new(GpuPrepared { model: self.model.clone(), shape, levels, plan: plan.clone() }))
+    }
+}
+
+struct GpuPrepared {
+    model: GpuModel,
+    shape: KrylovShape,
+    /// (forward, backward) dependency-level counts of the ILU factors.
+    levels: Option<(usize, usize)>,
+    plan: SolvePlan,
+}
+
+impl GpuPrepared {
+    /// Modelled seconds for one iteration of the prepared solver.
+    fn iteration_seconds(&self) -> f64 {
+        let a = &self.plan.a;
+        match (self.shape.method, self.levels) {
+            (CpuMethod::BiCgStab, Some((f, b))) => self.model.bicgstab_ilu_iteration_time(a, f, b),
+            (CpuMethod::BiCgStab, None) => self.model.bicgstab_iteration_time(a),
+            (CpuMethod::Cg, Some((f, b))) => self.model.cg_ilu_iteration_time(a, f, b),
+            (CpuMethod::Cg, None) => self.model.cg_iteration_time(a),
+        }
+    }
+}
+
+impl PreparedPlan for GpuPrepared {
+    fn execute(&mut self, b: &[f64], x0: Option<&[f64]>) -> Result<BackendRun, BackendError> {
+        let a = &self.plan.a;
+        if b.len() != a.nrows {
+            return Err(BackendError::Failed {
+                backend: "gpu-model".to_string(),
+                reason: format!("rhs length {} != n {}", b.len(), a.nrows),
+            });
+        }
+        // Numerics: a sequential host proxy (same f64 kernel chain a GPU
+        // would run, deterministic accumulation order).
+        let solver = CpuSolver {
+            max_iters: self.shape.max_iters,
+            rel_tol: self.shape.rel_tol,
+            use_ilu: self.shape.use_ilu,
+            method: self.shape.method,
+            parallel: false,
+        };
+        let mut x = vec![0.0; a.nrows];
+        let stats = solver.solve_from(a, b, &mut x, x0);
+        let seconds = stats.iterations as f64 * self.iteration_seconds();
+        let mut report = stats.to_solve_report("gpu-model", self.plan.solver.clone(), a);
+        report.seconds = seconds;
+        report.executor = "gpu-model".to_string();
+        report.backend = Some(BackendInfo {
+            name: "gpu-model".to_string(),
+            family: "gpu-model".to_string(),
+            timing: "roofline-model".to_string(),
+            seconds,
+        });
+        let history = if self.plan.record_history { stats.history.clone() } else { Vec::new() };
+        Ok(BackendRun {
+            x,
+            residual: stats.relative_residual,
+            iterations: stats.iterations,
+            history,
+            timing: Timing::Modelled { seconds },
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use json::Json;
+    use sparse::gen::{poisson_2d_5pt, rhs_for_ones};
+
+    use super::*;
+
+    fn krylov(ty: &str, precond: Option<&str>) -> Json {
+        let mut fields = vec![
+            ("type".to_string(), Json::Str(ty.to_string())),
+            ("max_iters".to_string(), Json::Num(300.0)),
+            ("rel_tol".to_string(), Json::Num(1e-8)),
+        ];
+        if let Some(p) = precond {
+            fields.push((
+                "precond".to_string(),
+                Json::obj([("type".to_string(), Json::Str(p.to_string()))]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    #[test]
+    fn gpu_model_reports_modelled_seconds() {
+        let a = Rc::new(poisson_2d_5pt(12, 12, 1.0));
+        let b = rhs_for_ones(&a);
+        for (ty, precond) in
+            [("cg", None), ("cg", Some("ilu0")), ("bi_cg_stab", None), ("bi_cg_stab", Some("ilu0"))]
+        {
+            let plan =
+                SolvePlan { a: Rc::clone(&a), solver: krylov(ty, precond), record_history: false };
+            let backend = GpuModelBackend::h100();
+            let run = backend.prepare(&plan).unwrap().execute(&b, None).unwrap();
+            assert!(run.residual < 1e-6, "{ty} {precond:?}: {}", run.residual);
+            assert_eq!(run.timing.kind(), "roofline-model");
+            assert!(run.timing.seconds() > 0.0, "modelled time must be positive");
+            let info = run.report.backend.as_ref().unwrap();
+            assert_eq!(info.family, "gpu-model");
+            assert_eq!(info.timing, "roofline-model");
+            assert_eq!(run.report.seconds, run.timing.seconds());
+        }
+    }
+
+    #[test]
+    fn ilu_levels_make_modelled_iterations_slower() {
+        // The preconditioned iteration costs the triangular-solve level
+        // serialisation the roofline model exists to capture.
+        let a = Rc::new(poisson_2d_5pt(24, 24, 1.0));
+        let b = rhs_for_ones(&a);
+        let backend = GpuModelBackend::h100();
+        let run = |precond| {
+            let plan = SolvePlan {
+                a: Rc::clone(&a),
+                solver: krylov("bi_cg_stab", precond),
+                record_history: false,
+            };
+            backend.prepare(&plan).unwrap().execute(&b, None).unwrap()
+        };
+        let plain = run(None);
+        let ilu = run(Some("ilu0"));
+        let per_iter_plain = plain.timing.seconds() / plain.iterations.max(1) as f64;
+        let per_iter_ilu = ilu.timing.seconds() / ilu.iterations.max(1) as f64;
+        assert!(per_iter_ilu > per_iter_plain, "{per_iter_ilu} vs {per_iter_plain}");
+    }
+
+    #[test]
+    fn capabilities_deny_faults_and_tuning() {
+        let caps = GpuModelBackend::h100().capabilities();
+        assert!(caps.modelled_time);
+        assert!(!caps.fault_injection);
+        assert!(!caps.auto_tuning);
+        assert!(!caps.cycle_accounting);
+    }
+}

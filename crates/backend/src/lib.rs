@@ -1,0 +1,586 @@
+//! # graphene-backend — the device/backend abstraction
+//!
+//! The paper's evaluation is inherently multi-backend: the IPU framework
+//! versus HYPRE-on-Xeon and HYPRE+cuSPARSE-on-H100 (§VI-A). This crate
+//! gives those comparators one execution contract so a solve can be
+//! retargeted without touching the call site:
+//!
+//! * [`Backend`] — a named device with a [`Capabilities`] matrix that
+//!   turns a backend-agnostic [`SolvePlan`] into a [`PreparedPlan`];
+//! * [`PreparedPlan`] — executes against concrete right-hand sides and
+//!   returns a [`BackendRun`]: solution bits, convergence record, a
+//!   [`Timing`] that is cycle-accurate, wall-clock or roofline-modelled
+//!   depending on what the device can honestly account, and the full
+//!   [`SolveReport`] (schema v3 carries the `backend` section);
+//! * [`BackendSpec`] — the `GRAPHENE_BACKEND` registry grammar
+//!   (`ipu-sim[:seq|par|native|legacy] | cpu[:par] | gpu-model`), plus
+//!   the resolution/conflict rules for the deprecated per-knob aliases
+//!   `GRAPHENE_PAR` / `GRAPHENE_NATIVE` / `GRAPHENE_LEGACY_INTERP`.
+//!
+//! The CPU ([`cpu::CpuBackend`]) and GPU ([`gpu::GpuModelBackend`])
+//! backends live here; the IPU-simulator backend is implemented in
+//! `graphene_core::backends` (it needs the DSL and solver layers, which
+//! sit above this crate) and registered through the same trait.
+//!
+//! # How cycle-accounting and wall-time backends coexist
+//!
+//! Each backend reports time in the domain it can defend: the simulator
+//! counts device cycles (bit-deterministic, host-independent), the CPU
+//! baseline measures host wall-clock, and the GPU roofline model derives
+//! seconds analytically. [`Timing`] keeps the three apart — comparisons
+//! across domains are the *evaluation's* job (Figs 7/8), never silently
+//! collapsed by the abstraction.
+
+pub mod cpu;
+pub mod gpu;
+
+use std::fmt;
+use std::rc::Rc;
+
+use ipu_sim::clock::CycleStats;
+use json::Json;
+use profile::SolveReport;
+use sparse::formats::CsrMatrix;
+
+// ----------------------------------------------------------------------
+// Backend names — the registry grammar
+// ----------------------------------------------------------------------
+
+/// Which host path executes the simulated IPU device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpuVariant {
+    /// No pinned executor: the engine's own defaults (and any deprecated
+    /// alias variables) choose, exactly as before this abstraction.
+    Auto,
+    /// One host thread walks the compiled plan (`ExecutorKind::Sequential`).
+    Seq,
+    /// Tile-parallel host workers (`ExecutorKind::Parallel`).
+    Par,
+    /// Fused native kernels (`ExecutorKind::Native`).
+    Native,
+    /// The legacy tree-walking interpreter (differential testing only).
+    Legacy,
+}
+
+/// A parsed backend selection — the value of `GRAPHENE_BACKEND` or
+/// `SolveOptions::backend`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The cycle-modelled IPU simulator (the framework under study).
+    IpuSim(IpuVariant),
+    /// Native f64 CPU baseline (the HYPRE analogue); `parallel` selects
+    /// rayon row-block parallelism for the SpMVs.
+    Cpu { parallel: bool },
+    /// The H100 roofline performance model (the cuSPARSE analogue):
+    /// real f64 numerics, analytically modelled seconds.
+    GpuModel,
+}
+
+/// Every name [`BackendSpec::parse`] accepts, in display order.
+pub const KNOWN_BACKENDS: &[&str] = &[
+    "ipu-sim",
+    "ipu-sim:seq",
+    "ipu-sim:par",
+    "ipu-sim:native",
+    "ipu-sim:legacy",
+    "cpu",
+    "cpu:par",
+    "gpu-model",
+];
+
+impl BackendSpec {
+    /// Parse a backend name from the registry grammar. Unknown names are
+    /// errors listing the known spellings — a typo'd backend silently
+    /// running the default would invalidate a whole evaluation.
+    pub fn parse(s: &str) -> Result<BackendSpec, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ipu-sim" => Ok(BackendSpec::IpuSim(IpuVariant::Auto)),
+            "ipu-sim:seq" => Ok(BackendSpec::IpuSim(IpuVariant::Seq)),
+            "ipu-sim:par" => Ok(BackendSpec::IpuSim(IpuVariant::Par)),
+            "ipu-sim:native" => Ok(BackendSpec::IpuSim(IpuVariant::Native)),
+            "ipu-sim:legacy" => Ok(BackendSpec::IpuSim(IpuVariant::Legacy)),
+            "cpu" => Ok(BackendSpec::Cpu { parallel: false }),
+            "cpu:par" => Ok(BackendSpec::Cpu { parallel: true }),
+            "gpu-model" => Ok(BackendSpec::GpuModel),
+            other => Err(format!(
+                "GRAPHENE_BACKEND: unknown backend `{other}` (known: {})",
+                KNOWN_BACKENDS.join(", ")
+            )),
+        }
+    }
+
+    /// Canonical registry name (the string [`parse`](Self::parse) maps back).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::IpuSim(IpuVariant::Auto) => "ipu-sim",
+            BackendSpec::IpuSim(IpuVariant::Seq) => "ipu-sim:seq",
+            BackendSpec::IpuSim(IpuVariant::Par) => "ipu-sim:par",
+            BackendSpec::IpuSim(IpuVariant::Native) => "ipu-sim:native",
+            BackendSpec::IpuSim(IpuVariant::Legacy) => "ipu-sim:legacy",
+            BackendSpec::Cpu { parallel: false } => "cpu",
+            BackendSpec::Cpu { parallel: true } => "cpu:par",
+            BackendSpec::GpuModel => "gpu-model",
+        }
+    }
+
+    /// Backend family: all ipu-sim variants share one family (and one
+    /// plan-cache key component), the baselines are their own.
+    pub fn family(&self) -> &'static str {
+        match self {
+            BackendSpec::IpuSim(_) => "ipu-sim",
+            BackendSpec::Cpu { .. } => "cpu",
+            BackendSpec::GpuModel => "gpu-model",
+        }
+    }
+
+    /// Read `GRAPHENE_BACKEND` (plus the deprecated alias variables, for
+    /// conflict detection) from the environment. `Ok(None)` when no
+    /// backend is selected — the caller keeps today's default behaviour,
+    /// including whatever the deprecated aliases choose at engine level.
+    pub fn from_env() -> Result<Option<BackendSpec>, String> {
+        let get = |k: &str| std::env::var(k).ok();
+        BackendSpec::resolve_env(
+            get("GRAPHENE_BACKEND").as_deref(),
+            get("GRAPHENE_PAR").as_deref(),
+            get("GRAPHENE_NATIVE").as_deref(),
+            get("GRAPHENE_LEGACY_INTERP").as_deref(),
+        )
+    }
+
+    /// The pure half of [`from_env`](Self::from_env): resolve a backend
+    /// selection against the deprecated alias variables.
+    ///
+    /// Precedence and conflict rules (the consolidation contract):
+    ///
+    /// * `GRAPHENE_BACKEND` unset/empty → `Ok(None)`; the aliases keep
+    ///   their historical meaning at engine level, byte-identical to the
+    ///   pre-consolidation behaviour.
+    /// * `GRAPHENE_BACKEND` set → it is authoritative. A *disabling*
+    ///   alias value (`0`/`false`/`off`/`no`) is treated as unset; an
+    ///   *enabling* alias is accepted only when it agrees with the chosen
+    ///   backend (`GRAPHENE_PAR=1` with `ipu-sim:par`, `GRAPHENE_NATIVE=1`
+    ///   with `ipu-sim:native`, `GRAPHENE_LEGACY_INTERP=1` with
+    ///   `ipu-sim:legacy`, anything with the unpinned `ipu-sim`), and is
+    ///   a loud conflict error otherwise — never a silent override.
+    /// * Malformed alias values error even when the backend would win:
+    ///   a typo'd knob must not vanish behind the consolidation.
+    pub fn resolve_env(
+        backend: Option<&str>,
+        par: Option<&str>,
+        native: Option<&str>,
+        legacy: Option<&str>,
+    ) -> Result<Option<BackendSpec>, String> {
+        // Aliases parse strictly first: typos stay loud regardless of
+        // which variable ends up deciding.
+        let par_on = match par {
+            None => None,
+            Some(v) => parse_par_alias(v)?,
+        };
+        let native_on = match native {
+            None => None,
+            Some(v) => parse_bool_alias("GRAPHENE_NATIVE", v)?,
+        };
+        let legacy_on = match legacy {
+            None => None,
+            Some(v) => parse_bool_alias("GRAPHENE_LEGACY_INTERP", v)?,
+        };
+
+        let spec = match backend.map(str::trim).filter(|s| !s.is_empty()) {
+            None => return Ok(None),
+            Some(s) => BackendSpec::parse(s)?,
+        };
+
+        let conflict = |var: &str, val: &str, hint: &str| {
+            Err(format!(
+                "GRAPHENE_BACKEND={} conflicts with deprecated alias {var}={val}; \
+                 unset {var} or select GRAPHENE_BACKEND={hint}",
+                spec.name()
+            ))
+        };
+        let agrees_par = matches!(spec, BackendSpec::IpuSim(IpuVariant::Auto | IpuVariant::Par));
+        if par_on == Some(true) && !agrees_par {
+            return conflict("GRAPHENE_PAR", par.unwrap_or(""), "ipu-sim:par");
+        }
+        let agrees_native =
+            matches!(spec, BackendSpec::IpuSim(IpuVariant::Auto | IpuVariant::Native));
+        if native_on == Some(true) && !agrees_native {
+            return conflict("GRAPHENE_NATIVE", native.unwrap_or(""), "ipu-sim:native");
+        }
+        let agrees_legacy =
+            matches!(spec, BackendSpec::IpuSim(IpuVariant::Auto | IpuVariant::Legacy));
+        if legacy_on == Some(true) && !agrees_legacy {
+            return conflict("GRAPHENE_LEGACY_INTERP", legacy.unwrap_or(""), "ipu-sim:legacy");
+        }
+        Ok(Some(spec))
+    }
+}
+
+/// Truthiness of the deprecated `GRAPHENE_PAR` alias: `None` for an
+/// empty value (unset), `Some(true)` for the enabling spellings and
+/// worker counts ≥ 1, `Some(false)` for the disabling spellings and `0`.
+/// Same grammar (and error text) as the engine's own parser.
+fn parse_par_alias(v: &str) -> Result<Option<bool>, String> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(None),
+        "0" | "false" | "off" | "no" => Ok(Some(false)),
+        "1" | "true" | "on" | "yes" => Ok(Some(true)),
+        other => match other.parse::<usize>() {
+            Ok(0) => Ok(Some(false)),
+            Ok(_) => Ok(Some(true)),
+            Err(_) => Err(format!(
+                "GRAPHENE_PAR: unrecognised value `{v}` \
+                 (expected 0/1/true/false/on/off/yes/no or a worker count)"
+            )),
+        },
+    }
+}
+
+/// Strict tri-state parse of a boolean alias (same grammar and error
+/// text as the engine's `parse_env_bool`).
+fn parse_bool_alias(var: &str, v: &str) -> Result<Option<bool>, String> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(None),
+        "1" | "true" | "on" | "yes" => Ok(Some(true)),
+        "0" | "false" | "off" | "no" => Ok(Some(false)),
+        other => Err(format!(
+            "{var}: unrecognised value `{other}` (expected 0/1/true/false/on/off/yes/no)"
+        )),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Capabilities
+// ----------------------------------------------------------------------
+
+/// What a backend can honestly do. Callers check before asking; the
+/// runner turns a mismatch into a typed error instead of a panic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Reports bit-deterministic device cycles ([`Timing::Cycles`]).
+    pub cycle_accounting: bool,
+    /// Reports measured host wall-clock time ([`Timing::Wall`]).
+    pub wall_clock: bool,
+    /// Reports analytically modelled seconds ([`Timing::Modelled`]).
+    pub modelled_time: bool,
+    /// Honours deterministic fault-injection plans.
+    pub fault_injection: bool,
+    /// Supports the cost-model auto-tuner (plan-cache keyed by backend
+    /// family — see the `tune` crate).
+    pub auto_tuning: bool,
+    /// Produces per-step performance attribution (`SolveReport.perf`).
+    pub perf_attribution: bool,
+    /// Uses host thread parallelism for its kernels.
+    pub parallel_host: bool,
+}
+
+// ----------------------------------------------------------------------
+// Errors
+// ----------------------------------------------------------------------
+
+/// Typed backend failure. `Unsupported` is the capability-mismatch
+/// contract: asking a backend for something its [`Capabilities`] deny
+/// (fault injection on the GPU model, a solver the CPU baseline does not
+/// implement) is a structured refusal, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// No backend registered under this name.
+    Unknown(String),
+    /// The plan (or an execution option) needs a capability this backend
+    /// does not have.
+    Unsupported { backend: String, what: String },
+    /// The backend accepted the plan but execution failed.
+    Failed { backend: String, reason: String },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unknown(name) => {
+                write!(f, "unknown backend `{name}` (known: {})", KNOWN_BACKENDS.join(", "))
+            }
+            BackendError::Unsupported { backend, what } => {
+                write!(f, "backend `{backend}` does not support {what}")
+            }
+            BackendError::Failed { backend, reason } => {
+                write!(f, "backend `{backend}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+// ----------------------------------------------------------------------
+// The plan and its results
+// ----------------------------------------------------------------------
+
+/// The backend-agnostic description of one solve: the compiled plan
+/// *structure* every backend replays — the shared CSR matrix (from
+/// `crates/sparse`) and the solver hierarchy in its JSON wire format
+/// (`SolverConfig::to_value`). Backends lower this to their own form in
+/// [`Backend::prepare`]: the simulator compiles a graph program, the CPU
+/// baseline picks an f64 kernel chain, the GPU model derives level sets.
+#[derive(Clone, Debug)]
+pub struct SolvePlan {
+    pub a: Rc<CsrMatrix>,
+    /// Solver configuration, internally tagged (`"type"`) JSON.
+    pub solver: Json,
+    /// Record the per-iteration true-residual history.
+    pub record_history: bool,
+}
+
+/// Time in the domain the backend can defend — never silently collapsed
+/// into one scalar across backends (see the module docs).
+#[derive(Clone, Debug)]
+pub enum Timing {
+    /// Bit-deterministic simulated device cycles and their seconds at
+    /// the modelled clock.
+    Cycles { stats: CycleStats, seconds: f64 },
+    /// Measured host wall-clock seconds.
+    Wall { seconds: f64 },
+    /// Analytically modelled seconds (no measurement happened).
+    Modelled { seconds: f64 },
+}
+
+impl Timing {
+    /// Seconds in this timing's own domain.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Timing::Cycles { seconds, .. }
+            | Timing::Wall { seconds }
+            | Timing::Modelled { seconds } => *seconds,
+        }
+    }
+
+    /// Wire name for the report's `backend.timing` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Timing::Cycles { .. } => "cycle-model",
+            Timing::Wall { .. } => "wall-clock",
+            Timing::Modelled { .. } => "roofline-model",
+        }
+    }
+
+    /// The device cycle profile, when this backend counts cycles.
+    pub fn cycle_stats(&self) -> Option<&CycleStats> {
+        match self {
+            Timing::Cycles { stats, .. } => Some(stats),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one backend execution produced.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Solution in global row order, f64.
+    pub x: Vec<f64>,
+    /// True relative residual ‖b−Ax‖/‖b‖ recomputed by the backend host-
+    /// side in f64 (never trusted from the device).
+    pub residual: f64,
+    /// Inner iterations executed.
+    pub iterations: usize,
+    /// (iteration, true relative residual) samples, if recorded.
+    pub history: Vec<(usize, f64)>,
+    /// Time in the backend's own accounting domain.
+    pub timing: Timing,
+    /// The full schema-v3 report (its `backend` section names this
+    /// backend) — what the unified reporter aggregates.
+    pub report: SolveReport,
+}
+
+// ----------------------------------------------------------------------
+// The trait pair
+// ----------------------------------------------------------------------
+
+/// A device that can replay a [`SolvePlan`].
+pub trait Backend {
+    /// Registry name (`"ipu-sim:par"`, `"cpu"`, `"gpu-model"`, ...).
+    fn name(&self) -> String;
+    /// Backend family (`"ipu-sim"` | `"cpu"` | `"gpu-model"`) — the
+    /// plan-cache key component.
+    fn family(&self) -> &'static str;
+    /// What this backend can honestly do.
+    fn capabilities(&self) -> Capabilities;
+    /// Lower the plan to this backend's executable form. Fails with
+    /// [`BackendError::Unsupported`] when the solver hierarchy needs
+    /// something the backend cannot do.
+    fn prepare(&self, plan: &SolvePlan) -> Result<Box<dyn PreparedPlan>, BackendError>;
+}
+
+/// A lowered plan, ready to execute against concrete data.
+pub trait PreparedPlan {
+    /// Solve for right-hand side `b` from initial guess `x0` (zeros when
+    /// `None`).
+    fn execute(&mut self, b: &[f64], x0: Option<&[f64]>) -> Result<BackendRun, BackendError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        for name in KNOWN_BACKENDS {
+            let spec = BackendSpec::parse(name).unwrap();
+            assert_eq!(spec.name(), *name, "canonical name must round-trip");
+        }
+        // Case/whitespace-insensitive.
+        assert_eq!(BackendSpec::parse(" CPU:PAR ").unwrap(), BackendSpec::Cpu { parallel: true });
+        assert_eq!(
+            BackendSpec::parse("IPU-Sim:Native").unwrap(),
+            BackendSpec::IpuSim(IpuVariant::Native)
+        );
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_known_list() {
+        for bad in ["tpu", "ipu-sim:vector", "cpu:simd", "gpu", "ipu"] {
+            let e = BackendSpec::parse(bad).unwrap_err();
+            assert!(e.contains("unknown backend"), "{e}");
+            assert!(e.contains("ipu-sim:seq") && e.contains("gpu-model"), "{e}");
+        }
+    }
+
+    #[test]
+    fn families_partition_the_registry() {
+        assert_eq!(BackendSpec::parse("ipu-sim:par").unwrap().family(), "ipu-sim");
+        assert_eq!(BackendSpec::parse("ipu-sim:legacy").unwrap().family(), "ipu-sim");
+        assert_eq!(BackendSpec::parse("cpu:par").unwrap().family(), "cpu");
+        assert_eq!(BackendSpec::parse("gpu-model").unwrap().family(), "gpu-model");
+    }
+
+    // ---- the consolidation contract (satellite: every combination) ----
+
+    fn resolve(
+        backend: Option<&str>,
+        par: Option<&str>,
+        native: Option<&str>,
+        legacy: Option<&str>,
+    ) -> Result<Option<BackendSpec>, String> {
+        BackendSpec::resolve_env(backend, par, native, legacy)
+    }
+
+    #[test]
+    fn unset_backend_defers_to_aliases() {
+        // Without GRAPHENE_BACKEND, resolution never selects a backend —
+        // the engine-level aliases keep their historical behaviour.
+        for par in [None, Some("0"), Some("1"), Some("4")] {
+            for native in [None, Some("0"), Some("1")] {
+                for legacy in [None, Some("0"), Some("1")] {
+                    assert_eq!(resolve(None, par, native, legacy), Ok(None));
+                    assert_eq!(resolve(Some(""), par, native, legacy), Ok(None));
+                    assert_eq!(resolve(Some("  "), par, native, legacy), Ok(None));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alias_typos_stay_loud_even_when_backend_wins() {
+        assert!(resolve(Some("cpu"), Some("garbage"), None, None)
+            .unwrap_err()
+            .contains("GRAPHENE_PAR"));
+        assert!(resolve(Some("cpu"), None, Some("maybe"), None)
+            .unwrap_err()
+            .contains("GRAPHENE_NATIVE"));
+        assert!(resolve(Some("cpu"), None, None, Some("2"))
+            .unwrap_err()
+            .contains("GRAPHENE_LEGACY_INTERP"));
+        assert!(resolve(None, Some("-3"), None, None).unwrap_err().contains("GRAPHENE_PAR"));
+    }
+
+    #[test]
+    fn every_backend_alias_combination_resolves_or_conflicts() {
+        // The full matrix: 8 backends x {unset, disabling, enabling} per
+        // alias. An enabling alias passes only with the agreeing variant
+        // (or the unpinned `ipu-sim`); a disabling alias is inert.
+        let enabling_par = ["1", "true", "4"];
+        let disabling = ["0", "false", "off", "no"];
+        for name in KNOWN_BACKENDS {
+            let spec = BackendSpec::parse(name).unwrap();
+            let auto = spec == BackendSpec::IpuSim(IpuVariant::Auto);
+            // Disabling aliases never conflict with anything.
+            for v in disabling {
+                assert_eq!(resolve(Some(name), Some(v), None, None), Ok(Some(spec)), "{name}");
+                assert_eq!(resolve(Some(name), None, Some(v), None), Ok(Some(spec)), "{name}");
+                assert_eq!(resolve(Some(name), None, None, Some(v)), Ok(Some(spec)), "{name}");
+                assert_eq!(
+                    resolve(Some(name), Some(v), Some(v), Some(v)),
+                    Ok(Some(spec)),
+                    "{name}"
+                );
+            }
+            // Enabling aliases agree only with their own variant.
+            for v in enabling_par {
+                let r = resolve(Some(name), Some(v), None, None);
+                if auto || spec == BackendSpec::IpuSim(IpuVariant::Par) {
+                    assert_eq!(r, Ok(Some(spec)), "{name} PAR={v}");
+                } else {
+                    let e = r.unwrap_err();
+                    assert!(e.contains("conflicts") && e.contains("GRAPHENE_PAR"), "{name}: {e}");
+                    assert!(e.contains("ipu-sim:par"), "hint missing: {e}");
+                }
+            }
+            let r = resolve(Some(name), None, Some("1"), None);
+            if auto || spec == BackendSpec::IpuSim(IpuVariant::Native) {
+                assert_eq!(r, Ok(Some(spec)), "{name} NATIVE=1");
+            } else {
+                assert!(r.unwrap_err().contains("GRAPHENE_NATIVE"), "{name}");
+            }
+            let r = resolve(Some(name), None, None, Some("1"));
+            if auto || spec == BackendSpec::IpuSim(IpuVariant::Legacy) {
+                assert_eq!(r, Ok(Some(spec)), "{name} LEGACY=1");
+            } else {
+                assert!(r.unwrap_err().contains("GRAPHENE_LEGACY_INTERP"), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreeing_alias_combinations_pass_together() {
+        // ipu-sim (unpinned) tolerates any alias mix — it delegates the
+        // whole choice to the engine, exactly the historical behaviour.
+        assert_eq!(
+            resolve(Some("ipu-sim"), Some("4"), Some("1"), Some("1")),
+            Ok(Some(BackendSpec::IpuSim(IpuVariant::Auto)))
+        );
+        // A pinned variant with its own alias and the others disabled.
+        assert_eq!(
+            resolve(Some("ipu-sim:par"), Some("8"), Some("0"), Some("0")),
+            Ok(Some(BackendSpec::IpuSim(IpuVariant::Par)))
+        );
+        assert_eq!(
+            resolve(Some("ipu-sim:native"), Some("0"), Some("1"), None),
+            Ok(Some(BackendSpec::IpuSim(IpuVariant::Native)))
+        );
+        assert_eq!(
+            resolve(Some("ipu-sim:legacy"), None, None, Some("1")),
+            Ok(Some(BackendSpec::IpuSim(IpuVariant::Legacy)))
+        );
+        // Cross-pinned enabling aliases conflict both ways.
+        assert!(resolve(Some("ipu-sim:par"), None, Some("1"), None).is_err());
+        assert!(resolve(Some("ipu-sim:native"), Some("1"), None, None).is_err());
+    }
+
+    #[test]
+    fn timing_kinds_name_their_domain() {
+        assert_eq!(Timing::Wall { seconds: 1.0 }.kind(), "wall-clock");
+        assert_eq!(Timing::Modelled { seconds: 1.0 }.kind(), "roofline-model");
+        let t = Timing::Cycles { stats: CycleStats::new(1), seconds: 0.5 };
+        assert_eq!(t.kind(), "cycle-model");
+        assert_eq!(t.seconds(), 0.5);
+        assert!(t.cycle_stats().is_some());
+        assert!(Timing::Wall { seconds: 1.0 }.cycle_stats().is_none());
+    }
+
+    #[test]
+    fn backend_error_display_is_structured() {
+        let e = BackendError::Unsupported {
+            backend: "gpu-model".into(),
+            what: "fault injection".into(),
+        };
+        assert_eq!(e.to_string(), "backend `gpu-model` does not support fault injection");
+        assert!(BackendError::Unknown("tpu".into()).to_string().contains("known:"));
+    }
+}

@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 
+use json::Json;
+use profile::{BackendInfo, SolveReport};
 use rayon::prelude::*;
 use sparse::formats::CsrMatrix;
 
@@ -164,41 +166,166 @@ impl Ilu0Factors {
     }
 }
 
-/// Outcome of a CPU baseline solve.
+/// Which Krylov method the CPU baseline runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuMethod {
+    /// BiCGStab (general systems) — the paper's CPU comparator.
+    BiCgStab,
+    /// Conjugate Gradient (SPD systems).
+    Cg,
+}
+
+impl CpuMethod {
+    /// Wire name, matching the solver-config `"type"` tags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuMethod::BiCgStab => "bi_cg_stab",
+            CpuMethod::Cg => "cg",
+        }
+    }
+}
+
+/// Outcome of a CPU baseline solve, with the same accounting split as a
+/// `SolveReport` so `summarize` can aggregate IPU and baseline runs into
+/// one table (see [`CpuSolveStats::to_solve_report`]).
 #[derive(Clone, Debug)]
 pub struct CpuSolveStats {
     pub iterations: usize,
     pub relative_residual: f64,
+    /// Total wall time: setup (factorisation) + iteration loop.
     pub seconds: f64,
+    /// Wall time of the setup phase (ILU factorisation; 0 without it).
+    pub setup_seconds: f64,
+    /// Wall time of the iteration loop alone — the quantity comparable
+    /// to a device solve's `seconds`.
+    pub solve_seconds: f64,
     /// (iteration, relative residual) history.
     pub history: Vec<(usize, f64)>,
+    /// Executor that ran the kernels: `"cpu"` or `"cpu:par"`.
+    pub executor: String,
+    /// Wire name of the method (`"bi_cg_stab"` / `"cg"`).
+    pub method: &'static str,
 }
 
-/// The CPU baseline solver: BiCGStab(+ILU(0)) in f64.
+impl CpuSolveStats {
+    /// Package this solve as a schema-v3 [`SolveReport`] with a `backend`
+    /// section, so the unified reporter and `summarize` treat baseline
+    /// runs exactly like device runs. The cycle sections stay zeroed —
+    /// this backend accounts wall-clock time, not cycles.
+    pub fn to_solve_report(&self, name: &str, solver: Json, a: &CsrMatrix) -> SolveReport {
+        let mut r = SolveReport::new(name);
+        r.solver = solver;
+        r.n = a.nrows;
+        r.nnz = a.nnz();
+        r.iterations = self.iterations;
+        r.final_residual = self.relative_residual;
+        r.seconds = self.solve_seconds;
+        r.host_seconds = self.seconds;
+        r.executor = self.executor.clone();
+        r.history = self.history.clone();
+        r.backend = Some(BackendInfo {
+            name: self.executor.clone(),
+            family: "cpu".to_string(),
+            timing: "wall-clock".to_string(),
+            seconds: self.solve_seconds,
+        });
+        r
+    }
+}
+
+/// The CPU baseline solver: BiCGStab or CG, optionally ILU(0)-
+/// preconditioned, in f64 — sequential or rayon-parallel SpMV.
 pub struct CpuSolver {
     pub max_iters: usize,
     pub rel_tol: f64,
     pub use_ilu: bool,
+    pub method: CpuMethod,
+    /// Rayon row-block parallel SpMV (bit-identical to sequential — the
+    /// per-row accumulation order does not change).
+    pub parallel: bool,
 }
 
 impl CpuSolver {
+    /// BiCGStab with parallel SpMV — the historical constructor.
     pub fn new(max_iters: usize, rel_tol: f64, use_ilu: bool) -> CpuSolver {
-        CpuSolver { max_iters, rel_tol, use_ilu }
+        CpuSolver { max_iters, rel_tol, use_ilu, method: CpuMethod::BiCgStab, parallel: true }
+    }
+
+    /// Executor wire name for reports.
+    pub fn executor_name(&self) -> &'static str {
+        if self.parallel {
+            "cpu:par"
+        } else {
+            "cpu"
+        }
+    }
+
+    fn spmv(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        if self.parallel {
+            spmv_par(a, x, y);
+        } else {
+            spmv_seq(a, x, y);
+        }
     }
 
     /// Solve `A x = b` from a zero initial guess.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> CpuSolveStats {
+        self.solve_from(a, b, x, None)
+    }
+
+    /// Solve `A x = b` from the initial guess `x0` (zeros when `None`).
+    pub fn solve_from(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        x0: Option<&[f64]>,
+    ) -> CpuSolveStats {
         let n = a.nrows;
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
         let t0 = Instant::now();
         let ilu = self.use_ilu.then(|| Ilu0Factors::new(a));
+        let setup_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        match x0 {
+            Some(g) => {
+                assert_eq!(g.len(), n);
+                x.copy_from_slice(g);
+            }
+            None => x.fill(0.0),
+        }
+        // r = b − A·x (exactly b for a zero guess: A·0 accumulates to
+        // +0.0 per row and b − 0.0 is bit-identical to b).
+        let mut r = vec![0.0; n];
+        self.spmv(a, x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut stats = match self.method {
+            CpuMethod::BiCgStab => self.bicgstab(a, b, x, r, &ilu),
+            CpuMethod::Cg => self.cg(a, b, x, r, &ilu),
+        };
+        stats.setup_seconds = setup_seconds;
+        stats.solve_seconds = t1.elapsed().as_secs_f64();
+        stats.seconds = setup_seconds + stats.solve_seconds;
+        stats
+    }
+
+    /// BiCGStab from residual `r` (x already holds the initial guess).
+    fn bicgstab(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        mut r: Vec<f64>,
+        ilu: &Option<Ilu0Factors>,
+    ) -> CpuSolveStats {
+        let n = a.nrows;
         let dot = |u: &[f64], v: &[f64]| u.iter().zip(v).map(|(a, b)| a * b).sum::<f64>();
         let bnorm2 = dot(b, b).max(f64::MIN_POSITIVE);
         let tol2 = self.rel_tol * self.rel_tol * bnorm2;
 
-        x.fill(0.0);
-        let mut r = b.to_vec();
         let mut r0 = r.clone();
         let mut p = r.clone();
         let mut rho_old = dot(&r0, &r);
@@ -212,21 +339,21 @@ impl CpuSolver {
         let mut res2 = dot(&r, &r);
 
         while iterations < self.max_iters && res2 > tol2 {
-            match &ilu {
+            match ilu {
                 Some(f) => f.solve(&p, &mut y),
                 None => y.copy_from_slice(&p),
             }
-            spmv_par(a, &y, &mut v);
+            self.spmv(a, &y, &mut v);
             let r0v = dot(&r0, &v);
             let alpha = if r0v == 0.0 { 0.0 } else { rho_old / r0v };
             for i in 0..n {
                 s[i] = r[i] - alpha * v[i];
             }
-            match &ilu {
+            match ilu {
                 Some(f) => f.solve(&s, &mut z),
                 None => z.copy_from_slice(&s),
             }
-            spmv_par(a, &z, &mut t);
+            self.spmv(a, &z, &mut t);
             let tt = dot(&t, &t);
             let omega = if tt == 0.0 { 0.0 } else { dot(&t, &s) / tt };
             for i in 0..n {
@@ -254,8 +381,79 @@ impl CpuSolver {
         CpuSolveStats {
             iterations,
             relative_residual: (res2 / bnorm2).sqrt(),
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds: 0.0,
+            setup_seconds: 0.0,
+            solve_seconds: 0.0,
             history,
+            executor: self.executor_name().to_string(),
+            method: CpuMethod::BiCgStab.name(),
+        }
+    }
+
+    /// Preconditioned CG from residual `r` (x already holds the guess).
+    fn cg(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        mut r: Vec<f64>,
+        ilu: &Option<Ilu0Factors>,
+    ) -> CpuSolveStats {
+        let n = a.nrows;
+        let dot = |u: &[f64], v: &[f64]| u.iter().zip(v).map(|(a, b)| a * b).sum::<f64>();
+        let bnorm2 = dot(b, b).max(f64::MIN_POSITIVE);
+        let tol2 = self.rel_tol * self.rel_tol * bnorm2;
+
+        let mut z = vec![0.0; n];
+        match ilu {
+            Some(f) => f.solve(&r, &mut z),
+            None => z.copy_from_slice(&r),
+        }
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut v = vec![0.0; n];
+        let mut history = Vec::new();
+        let mut iterations = 0;
+        let mut res2 = dot(&r, &r);
+
+        while iterations < self.max_iters && res2 > tol2 {
+            self.spmv(a, &p, &mut v);
+            let pv = dot(&p, &v);
+            if pv == 0.0 || rz == 0.0 {
+                break; // breakdown: direction lost its energy norm
+            }
+            let alpha = rz / pv;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * v[i];
+            }
+            res2 = dot(&r, &r);
+            iterations += 1;
+            history.push((iterations, (res2 / bnorm2).sqrt()));
+            if res2 <= tol2 {
+                break;
+            }
+            match ilu {
+                Some(f) => f.solve(&r, &mut z),
+                None => z.copy_from_slice(&r),
+            }
+            let rz_new = dot(&r, &z);
+            let beta = rz_new / rz;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+            rz = rz_new;
+        }
+
+        CpuSolveStats {
+            iterations,
+            relative_residual: (res2 / bnorm2).sqrt(),
+            seconds: 0.0,
+            setup_seconds: 0.0,
+            solve_seconds: 0.0,
+            history,
+            executor: self.executor_name().to_string(),
+            method: CpuMethod::Cg.name(),
         }
     }
 }

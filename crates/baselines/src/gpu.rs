@@ -108,6 +108,34 @@ impl GpuModel {
             + 6.0 * self.vector_op_time(n)
             + 4.0 * self.dot_time(n)
     }
+
+    /// Time for one unpreconditioned BiCGStab iteration: 2 SpMVs, ~6
+    /// vector ops, 4 dots.
+    pub fn bicgstab_iteration_time(&self, a: &CsrMatrix) -> f64 {
+        let n = a.nrows;
+        2.0 * self.spmv_time(a) + 6.0 * self.vector_op_time(n) + 4.0 * self.dot_time(n)
+    }
+
+    /// Time for one unpreconditioned CG iteration: 1 SpMV, ~3 vector ops
+    /// (x, r, p updates), 2 dots.
+    pub fn cg_iteration_time(&self, a: &CsrMatrix) -> f64 {
+        let n = a.nrows;
+        self.spmv_time(a) + 3.0 * self.vector_op_time(n) + 2.0 * self.dot_time(n)
+    }
+
+    /// Time for one CG+ILU(0) iteration: CG plus one preconditioner
+    /// application (forward+backward substitution).
+    pub fn cg_ilu_iteration_time(
+        &self,
+        a: &CsrMatrix,
+        fwd_levels: usize,
+        bwd_levels: usize,
+    ) -> f64 {
+        let n = a.nrows;
+        self.cg_iteration_time(a)
+            + self.triangular_solve_time(fwd_levels, a.nnz() / 2, n)
+            + self.triangular_solve_time(bwd_levels, a.nnz() / 2, n)
+    }
 }
 
 #[cfg(test)]

@@ -20,5 +20,5 @@
 pub mod cpu;
 pub mod gpu;
 
-pub use cpu::{CpuSolveStats, CpuSolver};
+pub use cpu::{CpuMethod, CpuSolveStats, CpuSolver};
 pub use gpu::GpuModel;

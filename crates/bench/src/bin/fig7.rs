@@ -29,6 +29,12 @@ fn main() {
     );
 
     let mut reporter = Reporter::from_env("fig7");
+    // Per-backend artifacts (`results/fig7.<backend>.json`) so downstream
+    // tooling can diff one backend's series without parsing the combined
+    // document; names match the `GRAPHENE_BACKEND` registry grammar.
+    let mut ipu_reporter = Reporter::from_env("fig7.ipu-sim");
+    let mut cpu_reporter = Reporter::from_env("fig7.cpu");
+    let mut gpu_reporter = Reporter::from_env("fig7.gpu-model");
     let model = IpuModel::m2000();
     let gpu = GpuModel::h100();
     for info in PAPER_MATRICES {
@@ -50,6 +56,19 @@ fn main() {
             fields.push(("gpu_seconds".to_string(), Json::from(g)));
         }
         reporter.add_json(info.name, &mut run);
+        let per_backend = |rep: &mut Reporter, backend: &str, timing: &str, secs: f64| {
+            let mut row = Json::obj(vec![
+                ("backend", Json::from(backend)),
+                ("timing", Json::from(timing)),
+                ("seconds", Json::from(secs)),
+                ("rows", Json::from(a.nrows as u64)),
+                ("nnz", Json::from(a.nnz() as u64)),
+            ]);
+            rep.add_json(info.name, &mut row);
+        };
+        per_backend(&mut ipu_reporter, "ipu-sim", "cycle-model", ipu);
+        per_backend(&mut cpu_reporter, "cpu:par", "wall-clock", cpu);
+        per_backend(&mut gpu_reporter, "gpu-model", "roofline-model", g);
         use graphene_bench::power;
         println!(
             "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
@@ -67,4 +86,7 @@ fn main() {
         );
     }
     reporter.finish();
+    ipu_reporter.finish();
+    cpu_reporter.finish();
+    gpu_reporter.finish();
 }

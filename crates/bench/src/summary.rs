@@ -109,6 +109,20 @@ pub fn summarize_dir(dir: &Path) -> Summary {
                             ("device_cycles", Json::from(r.cycles.device)),
                             ("seconds", Json::from(r.seconds)),
                             ("executor", Json::from(r.executor.as_str())),
+                            // Pre-v3 reports carry no backend section; all
+                            // of those were simulator runs by construction.
+                            (
+                                "backend",
+                                Json::from(
+                                    r.backend.as_ref().map_or("ipu-sim", |b| b.name.as_str()),
+                                ),
+                            ),
+                            (
+                                "timing",
+                                Json::from(
+                                    r.backend.as_ref().map_or("cycle-model", |b| b.timing.as_str()),
+                                ),
+                            ),
                             ("has_perf", Json::from(r.perf.is_some())),
                         ]));
                     } else {
@@ -142,13 +156,16 @@ impl Summary {
     /// The human-readable `summary.md` document.
     pub fn to_markdown(&self) -> String {
         let mut md = String::from("# Experiment summary\n\n## Solves\n\n");
-        md.push_str("| report | n | nnz | tiles | iters | residual | device cycles | device s |\n");
-        md.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+        md.push_str(
+            "| report | backend | n | nnz | tiles | iters | residual | device cycles | device s |\n",
+        );
+        md.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
         for s in &self.solves {
             let g = |k: &str| s.get(k).map(fmt_cell).unwrap_or_default();
             md.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 g("name"),
+                g("backend"),
                 g("n"),
                 g("nnz"),
                 g("tiles"),

@@ -52,7 +52,7 @@ fn partial_sweep_skips_casualties_and_keeps_the_rest() {
     //    "perf" section) — still summarises, as schema 1.
     let mut v1 = res.report.to_value();
     if let Json::Obj(pairs) = &mut v1 {
-        pairs.retain(|(k, _)| k != "schema" && k != "perf");
+        pairs.retain(|(k, _)| k != "schema" && k != "perf" && k != "backend");
     }
     let v1doc = Json::obj([("bin", Json::from("oldrun")), ("runs", Json::Arr(vec![v1]))]);
     std::fs::write(dir.join("oldrun.json"), v1doc.to_pretty()).unwrap();
@@ -75,6 +75,13 @@ fn partial_sweep_skips_casualties_and_keeps_the_rest() {
     let schemas: Vec<u64> =
         s.solves.iter().filter_map(|r| r.get("schema").and_then(Json::as_u64)).collect();
     assert!(schemas.contains(&1), "v1 report must summarise as schema 1: {schemas:?}");
+    // The backend column: v3 reports carry their own attribution; the
+    // backendless v1 row defaults to the simulator (all pre-v3 artifacts
+    // were simulator runs by construction).
+    let backends: Vec<&str> =
+        s.solves.iter().filter_map(|r| r.get("backend").and_then(Json::as_str)).collect();
+    assert!(backends.contains(&"ipu-sim:seq"), "{backends:?}");
+    assert!(backends.contains(&"ipu-sim"), "v1 fallback: {backends:?}");
     let bins: Vec<&str> = s.bins.iter().map(|(b, _)| b.as_str()).collect();
     assert_eq!(bins, ["bespoke", "unit", "oldrun"], "sorted file order, bespoke first");
     let bespoke = &s.bins.iter().find(|(b, _)| b == "bespoke").unwrap().1;

@@ -194,6 +194,10 @@ pub fn tune(
         format!("tiles:{:?}", opts.tiles),
         format!("opt:{choice_str}"),
         format!("grid:{}", grid.map(|g| format!("{}x{}x{}", g.nx, g.ny, g.nz)).unwrap_or_default()),
+        // Backend family: only ipu-sim plans are tuned today, but the key
+        // must never collide with a future backend's plans for the same
+        // matrix (the plan encodes ipu-sim partition decisions).
+        "backend:ipu-sim".to_string(),
     ];
     let key_refs: Vec<&str> = key_parts.iter().map(String::as_str).collect();
     let key = TuneKey::new(fp.digest, solver_key(&key_refs));

@@ -19,6 +19,10 @@
 //!   `SolveOptions::tune`): scores partition/rows-per-tile/pass-toggle
 //!   candidates by a modelled-cycle SpMV probe and caches winners on disk
 //!   keyed by the matrix structure fingerprint (see the `tune` crate).
+//! * [`backends`] — the device registry behind `GRAPHENE_BACKEND`: the
+//!   IPU simulator (all four executor variants), the native-CPU baseline
+//!   and the GPU roofline model behind one `backend::Backend` trait, with
+//!   typed capability-mismatch refusals.
 //! * [`resilience`] — structured solve outcomes ([`SolveError`] /
 //!   [`SolveStatus`]), in-flight detectors (non-finite / divergence /
 //!   stagnation), checkpoint-rollback recovery and the bounded
@@ -26,12 +30,14 @@
 //!   `ipu_sim::fault` injects hardware faults underneath it.
 
 pub mod autotune;
+pub mod backends;
 pub mod config;
 pub mod dist;
 pub mod resilience;
 pub mod runner;
 pub mod solvers;
 
+pub use backends::{backend_for, resolve as resolve_backend, IpuSimBackend};
 pub use config::SolverConfig;
 pub use dist::DistSystem;
 pub use resilience::{RecoveryPolicy, SolveError, SolveStatus};

@@ -93,6 +93,12 @@ pub enum SolveError {
     /// The final attempt finished finite but above the configured
     /// tolerance, and the policy demanded convergence.
     ToleranceNotReached { residual: f64, target: f64, attempts: u32 },
+    /// The selected backend refused the plan or an execution option: a
+    /// capability mismatch (fault injection on the GPU model, auto-tuning
+    /// on a wall-clock backend, a solver hierarchy the backend does not
+    /// implement) or a backend-internal failure. Always a typed refusal,
+    /// never a panic.
+    Backend { backend: String, reason: String },
 }
 
 impl fmt::Display for SolveError {
@@ -115,6 +121,9 @@ impl fmt::Display for SolveError {
                 f,
                 "residual {residual:.3e} above target {target:.1e} after {attempts} attempt(s)"
             ),
+            SolveError::Backend { backend, reason } => {
+                write!(f, "backend `{backend}`: {reason}")
+            }
         }
     }
 }

@@ -93,6 +93,16 @@ pub struct SolveOptions {
     /// (with a silent fallback to the algebraic families) when its cell
     /// count does not match the matrix.
     pub grid: Option<sparse::gen::Grid3>,
+    /// Backend to run the solve on (`None`: whatever `GRAPHENE_BACKEND`
+    /// selects, the IPU simulator when unset). `ipu-sim:<variant>` pins
+    /// the host executor (conflicting with an explicit `executor` /
+    /// `legacy_interpreter` pin is a [`SolveError::Config`]); `cpu`,
+    /// `cpu:par` and `gpu-model` dispatch to the baseline backends via
+    /// [`crate::backends`] — same report schema, their own timing domain.
+    /// The env selector only applies when `executor`,
+    /// `legacy_interpreter` and `native_fusion` are all left open, so
+    /// explicitly pinned engine options keep their meaning unchanged.
+    pub backend: Option<backend::BackendSpec>,
 }
 
 impl Default for SolveOptions {
@@ -113,6 +123,7 @@ impl Default for SolveOptions {
             tune: None,
             tune_cache: None,
             grid: None,
+            backend: None,
         }
     }
 }
@@ -158,6 +169,8 @@ struct Attempt {
     seconds: f64,
     host_seconds: f64,
     executor: String,
+    /// Whether the legacy tree-walking interpreter ran this attempt.
+    legacy: bool,
     compile: profile::CompileReport,
     /// Sentinel detection that tripped mid-run, if any.
     detection: Option<Detection>,
@@ -181,7 +194,7 @@ enum Verdict {
 /// Safety factor on the configured tolerance when judging the *host-side*
 /// residual: the device converges on its recursive f32 residual, whose
 /// floor sits slightly above the true residual the host recomputes.
-const TOLERANCE_SAFETY: f64 = 100.0;
+pub(crate) const TOLERANCE_SAFETY: f64 = 100.0;
 
 /// Solve `A x = b` with the configured solver hierarchy on the simulated
 /// IPU. `opts.x0` is the initial guess (zeros if `None`).
@@ -249,6 +262,33 @@ pub fn solve(
         let residual = if b0 != 0.0 { ((b0 - a00 * x) / b0).abs() } else { 0.0 };
         return Ok(trivial_result(config, &a, SolveStatus::Converged, vec![x], residual));
     }
+
+    // ---- Backend dispatch (SolveOptions::backend / GRAPHENE_BACKEND). -
+    let spec = match opts.backend {
+        Some(s) => Some(s),
+        // The env-level selector applies only when the caller left every
+        // engine-level pin open: explicit `executor` /
+        // `legacy_interpreter` / `native_fusion` options keep their
+        // historical meaning regardless of the environment.
+        None if opts.executor.is_none()
+            && opts.legacy_interpreter.is_none()
+            && opts.native_fusion.is_none() =>
+        {
+            backend::BackendSpec::from_env().map_err(SolveError::Config)?
+        }
+        None => None,
+    };
+    let pinned;
+    let opts = match spec {
+        Some(s @ (backend::BackendSpec::Cpu { .. } | backend::BackendSpec::GpuModel)) => {
+            return crate::backends::external_solve(s, a, b, config, opts);
+        }
+        Some(backend::BackendSpec::IpuSim(variant)) => {
+            pinned = pin_ipu_variant(opts, variant)?;
+            &pinned
+        }
+        None => opts,
+    };
 
     // ---- Fault plan + recovery policy. -------------------------------
     let fault_plan = match &opts.faults {
@@ -337,6 +377,23 @@ pub fn solve(
                 report.host_seconds = att.host_seconds;
                 report.executor = att.executor.clone();
                 report.history = att.history.clone();
+                // Schema-v3 backend section: which device family ran this
+                // solve and in which timing domain its seconds live.
+                let variant = if att.legacy {
+                    "legacy"
+                } else {
+                    match att.executor.as_str() {
+                        "parallel" => "par",
+                        "native" => "native",
+                        _ => "seq",
+                    }
+                };
+                report.backend = Some(profile::BackendInfo {
+                    name: format!("ipu-sim:{variant}"),
+                    family: "ipu-sim".to_string(),
+                    timing: "cycle-model".to_string(),
+                    seconds: att.seconds,
+                });
                 let mut compile = att.compile.clone();
                 if let Some(d) = &decision {
                     compile.passes.push(d.pass_stat());
@@ -442,6 +499,49 @@ pub fn solve(
             }
         }
     }
+}
+
+/// Pin the engine-level options an `ipu-sim:<variant>` backend selection
+/// implies. An explicit *disagreeing* pin in the caller's options is a
+/// configuration conflict, never a silent override.
+fn pin_ipu_variant(
+    opts: &SolveOptions,
+    variant: backend::IpuVariant,
+) -> Result<SolveOptions, SolveError> {
+    use backend::IpuVariant as V;
+    let name = backend::BackendSpec::IpuSim(variant).name();
+    let want = match variant {
+        V::Auto | V::Legacy => None,
+        V::Seq => Some(ExecutorKind::Sequential),
+        V::Par => Some(ExecutorKind::Parallel),
+        V::Native => Some(ExecutorKind::Native),
+    };
+    if let (Some(w), Some(e)) = (want, opts.executor) {
+        if w != e {
+            return Err(SolveError::Config(format!(
+                "backend `{name}` conflicts with explicit executor `{}`",
+                e.name()
+            )));
+        }
+    }
+    if variant == V::Legacy && opts.legacy_interpreter == Some(false) {
+        return Err(SolveError::Config(format!(
+            "backend `{name}` conflicts with explicit legacy_interpreter = false"
+        )));
+    }
+    if matches!(variant, V::Seq | V::Par | V::Native) && opts.legacy_interpreter == Some(true) {
+        return Err(SolveError::Config(format!(
+            "backend `{name}` conflicts with explicit legacy_interpreter = true"
+        )));
+    }
+    let mut o = opts.clone();
+    if let Some(w) = want {
+        o.executor = Some(w);
+    }
+    if variant == V::Legacy {
+        o.legacy_interpreter = Some(true);
+    }
+    Ok(o)
 }
 
 /// [`solve`], panicking with the error's `Display` on failure — the
@@ -658,6 +758,7 @@ fn run_attempt(
         seconds,
         host_seconds,
         executor: engine.executor().name().to_string(),
+        legacy: engine.legacy_interpreter(),
         compile: engine.compile_report().clone(),
         detection: sentinel.as_ref().and_then(|s| s.detection()),
         snapshot_global,

@@ -133,46 +133,180 @@ impl EngineOptions {
     /// knob silently running the wrong executor is far worse than a loud
     /// failure (an empty value counts as unset, as CI matrix templating
     /// produces empty strings for absent legs).
+    ///
+    /// The three per-knob variables are **deprecated aliases** of the
+    /// consolidated `GRAPHENE_BACKEND` selector
+    /// (`ipu-sim[:seq|par|native|legacy] | cpu[:par] | gpu-model`, see
+    /// [`EngineOptions::resolve_env`]): with `GRAPHENE_BACKEND` unset they
+    /// keep their historical meaning byte-for-byte; with it set, the
+    /// backend name is authoritative and a *disagreeing* enabling alias is
+    /// a loud conflict error, never a silent override.
     pub fn from_env() -> Self {
-        let mut o = match std::env::var("GRAPHENE_PAR") {
-            Err(_) => EngineOptions::default(),
-            Ok(v) => Self::parse_par(&v),
+        let get = |k: &str| std::env::var(k).ok();
+        match Self::resolve_env(
+            get("GRAPHENE_BACKEND").as_deref(),
+            get("GRAPHENE_PAR").as_deref(),
+            get("GRAPHENE_NATIVE").as_deref(),
+            get("GRAPHENE_LEGACY_INTERP").as_deref(),
+        ) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The pure resolution behind [`from_env`](Self::from_env): combine a
+    /// `GRAPHENE_BACKEND` selection with the deprecated alias knobs.
+    ///
+    /// Rules (the consolidation contract, mirrored by
+    /// `backend::BackendSpec::resolve_env` for the runner-level registry):
+    ///
+    /// * aliases parse strictly first — a typo'd knob errors no matter
+    ///   which variable ends up deciding;
+    /// * backend unset/empty (or the unpinned `ipu-sim`) → the historical
+    ///   alias composition: `GRAPHENE_PAR` picks the executor and thread
+    ///   cap, `GRAPHENE_LEGACY_INTERP` the interpreter,
+    ///   `GRAPHENE_NATIVE=1` overrides the executor to native and
+    ///   `GRAPHENE_NATIVE=0` force-disables fusion;
+    /// * a pinned `ipu-sim:<variant>` accepts only *agreeing* enabling
+    ///   aliases (`GRAPHENE_PAR=8` with `ipu-sim:par` still sets the
+    ///   thread cap; disabling values are inert) and rejects disagreeing
+    ///   ones with a conflict error naming both sides;
+    /// * `cpu`, `cpu:par` and `gpu-model` resolve to default engine
+    ///   options after the same conflict checks — the runner never routes
+    ///   those solves through this engine;
+    /// * unknown names error listing the known registry.
+    pub fn resolve_env(
+        backend: Option<&str>,
+        par: Option<&str>,
+        native: Option<&str>,
+        legacy: Option<&str>,
+    ) -> Result<EngineOptions, String> {
+        let par_base = match par {
+            None => None,
+            Some(v) => Some(Self::try_parse_par(v)?),
         };
-        if let Ok(v) = std::env::var("GRAPHENE_LEGACY_INTERP") {
-            if let Some(b) = parse_env_bool("GRAPHENE_LEGACY_INTERP", &v) {
+        let native_on = match native {
+            None => None,
+            Some(v) => try_parse_env_bool("GRAPHENE_NATIVE", v)?,
+        };
+        let legacy_on = match legacy {
+            None => None,
+            Some(v) => try_parse_env_bool("GRAPHENE_LEGACY_INTERP", v)?,
+        };
+
+        // The historical (pre-consolidation) composition of the aliases.
+        let compose = || {
+            let mut o = par_base.unwrap_or_default();
+            if let Some(b) = legacy_on {
                 o.legacy_interpreter = b;
             }
-        }
-        if let Ok(v) = std::env::var("GRAPHENE_NATIVE") {
-            match parse_env_bool("GRAPHENE_NATIVE", &v) {
+            match native_on {
                 Some(true) => o.executor = ExecutorKind::Native,
                 Some(false) => o.native_fusion = false,
                 None => {}
             }
+            o
+        };
+
+        let name = match backend.map(str::trim).filter(|s| !s.is_empty()) {
+            None => return Ok(compose()),
+            Some(s) => s.to_ascii_lowercase(),
+        };
+
+        let par_enabled = par_base.is_some_and(|o| o.executor == ExecutorKind::Parallel);
+        let conflict = |var: &str, val: Option<&str>, hint: &str| {
+            format!(
+                "GRAPHENE_BACKEND={name} conflicts with deprecated alias {var}={}; \
+                 unset {var} or select GRAPHENE_BACKEND={hint}",
+                val.unwrap_or("")
+            )
+        };
+        let check = |allow_par: bool, allow_native: bool, allow_legacy: bool| {
+            if par_enabled && !allow_par {
+                return Err(conflict("GRAPHENE_PAR", par, "ipu-sim:par"));
+            }
+            if native_on == Some(true) && !allow_native {
+                return Err(conflict("GRAPHENE_NATIVE", native, "ipu-sim:native"));
+            }
+            if legacy_on == Some(true) && !allow_legacy {
+                return Err(conflict("GRAPHENE_LEGACY_INTERP", legacy, "ipu-sim:legacy"));
+            }
+            Ok(())
+        };
+
+        let mut o = EngineOptions::default();
+        match name.as_str() {
+            // Unpinned: delegate the whole choice to the aliases.
+            "ipu-sim" => return Ok(compose()),
+            "ipu-sim:seq" => check(false, false, false)?,
+            "ipu-sim:par" => {
+                check(true, false, false)?;
+                o.executor = ExecutorKind::Parallel;
+                if let Some(p) = par_base {
+                    if p.executor == ExecutorKind::Parallel {
+                        o.threads = p.threads;
+                    }
+                }
+            }
+            "ipu-sim:native" => {
+                check(false, true, false)?;
+                o.executor = ExecutorKind::Native;
+            }
+            "ipu-sim:legacy" => {
+                check(false, false, true)?;
+                o.legacy_interpreter = true;
+            }
+            // Non-engine backends: the runner dispatches these solves
+            // elsewhere; the engine itself stays on its defaults.
+            "cpu" | "cpu:par" | "gpu-model" => check(false, false, false)?,
+            other => {
+                return Err(format!(
+                    "GRAPHENE_BACKEND: unknown backend `{other}` (known: ipu-sim, \
+                     ipu-sim:seq, ipu-sim:par, ipu-sim:native, ipu-sim:legacy, cpu, \
+                     cpu:par, gpu-model)"
+                ))
+            }
         }
-        o
+        if native_on == Some(false) {
+            o.native_fusion = false;
+        }
+        Ok(o)
     }
 
+    /// Panicking wrapper over [`try_parse_par`](Self::try_parse_par),
+    /// kept for the env-grammar tests (the panic message is the contract
+    /// `from_env` surfaces on a malformed knob).
+    #[cfg(test)]
     fn parse_par(v: &str) -> Self {
+        match Self::try_parse_par(v) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`parse_par`](Self::parse_par) — same grammar,
+    /// `Err` instead of panicking.
+    fn try_parse_par(v: &str) -> Result<Self, String> {
         match v.trim().to_ascii_lowercase().as_str() {
-            "" | "0" | "false" | "off" | "no" => EngineOptions::default(),
+            "" | "0" | "false" | "off" | "no" => Ok(EngineOptions::default()),
             "1" | "true" | "on" | "yes" => {
-                EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() }
+                Ok(EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() })
             }
             other => match other.parse::<usize>() {
-                Ok(0) => EngineOptions::default(),
-                Ok(1) => {
-                    EngineOptions { executor: ExecutorKind::Parallel, ..EngineOptions::default() }
-                }
-                Ok(n) => EngineOptions {
+                Ok(0) => Ok(EngineOptions::default()),
+                Ok(1) => Ok(EngineOptions {
+                    executor: ExecutorKind::Parallel,
+                    ..EngineOptions::default()
+                }),
+                Ok(n) => Ok(EngineOptions {
                     executor: ExecutorKind::Parallel,
                     threads: n,
                     ..EngineOptions::default()
-                },
-                Err(_) => panic!(
+                }),
+                Err(_) => Err(format!(
                     "GRAPHENE_PAR: unrecognised value `{v}` \
                      (expected 0/1/true/false/on/off/yes/no or a worker count)"
-                ),
+                )),
             },
         }
     }
@@ -190,14 +324,24 @@ impl EngineOptions {
 /// value (treated as unset — CI matrix templating produces empty strings
 /// for absent legs), `Some(bool)` for the recognised spellings, and a
 /// panic naming the variable and the offending string for anything else.
+#[cfg(test)]
 fn parse_env_bool(var: &str, v: &str) -> Option<bool> {
+    match try_parse_env_bool(var, v) {
+        Ok(o) => o,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`parse_env_bool`] — same grammar, `Err` instead of
+/// panicking.
+fn try_parse_env_bool(var: &str, v: &str) -> Result<Option<bool>, String> {
     match v.trim().to_ascii_lowercase().as_str() {
-        "" => None,
-        "1" | "true" | "on" | "yes" => Some(true),
-        "0" | "false" | "off" | "no" => Some(false),
-        other => {
-            panic!("{var}: unrecognised value `{other}` (expected 0/1/true/false/on/off/yes/no)")
-        }
+        "" => Ok(None),
+        "1" | "true" | "on" | "yes" => Ok(Some(true)),
+        "0" | "false" | "off" | "no" => Ok(Some(false)),
+        other => Err(format!(
+            "{var}: unrecognised value `{other}` (expected 0/1/true/false/on/off/yes/no)"
+        )),
     }
 }
 
@@ -2350,6 +2494,141 @@ mod tests {
         // `2` is a worker count for GRAPHENE_PAR but meaningless for a
         // pure on/off knob — it must not silently read as "off".
         parse_env_bool("GRAPHENE_LEGACY_INTERP", "2");
+    }
+
+    // ---- GRAPHENE_BACKEND consolidation (resolve_env) ----
+
+    fn renv(
+        backend: Option<&str>,
+        par: Option<&str>,
+        native: Option<&str>,
+        legacy: Option<&str>,
+    ) -> Result<EngineOptions, String> {
+        EngineOptions::resolve_env(backend, par, native, legacy)
+    }
+
+    #[test]
+    fn backend_unset_reproduces_historical_alias_composition() {
+        use ExecutorKind::*;
+        // Every alias combination must compose exactly as the old
+        // from_env did: PAR picks executor+threads, LEGACY the
+        // interpreter, NATIVE=1 overrides the executor, NATIVE=0 only
+        // disables fusion.
+        for backend in [None, Some(""), Some("ipu-sim")] {
+            let cases: &[(
+                (Option<&str>, Option<&str>, Option<&str>),
+                (ExecutorKind, usize, bool, bool),
+            )] = &[
+                ((None, None, None), (Sequential, 0, false, true)),
+                ((Some("0"), None, None), (Sequential, 0, false, true)),
+                ((Some("1"), None, None), (Parallel, 0, false, true)),
+                ((Some("8"), None, None), (Parallel, 8, false, true)),
+                ((Some("8"), Some("1"), None), (Native, 8, false, true)),
+                ((Some("8"), Some("0"), None), (Parallel, 8, false, false)),
+                ((None, Some("1"), Some("1")), (Native, 0, true, true)),
+                ((None, Some("0"), Some("1")), (Sequential, 0, true, false)),
+                ((None, None, Some("1")), (Sequential, 0, true, true)),
+                ((None, Some(""), Some("")), (Sequential, 0, false, true)),
+            ];
+            for ((par, native, legacy), (exec, threads, leg, fusion)) in cases {
+                let o = renv(backend, *par, *native, *legacy).unwrap();
+                assert_eq!(
+                    (o.executor, o.threads, o.legacy_interpreter, o.native_fusion),
+                    (*exec, *threads, *leg, *fusion),
+                    "backend={backend:?} PAR={par:?} NATIVE={native:?} LEGACY={legacy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_backend_variants_select_their_executor() {
+        use ExecutorKind::*;
+        let o = renv(Some("ipu-sim:seq"), None, None, None).unwrap();
+        assert_eq!((o.executor, o.legacy_interpreter), (Sequential, false));
+        let o = renv(Some("ipu-sim:par"), None, None, None).unwrap();
+        assert_eq!((o.executor, o.threads), (Parallel, 0));
+        let o = renv(Some("ipu-sim:native"), None, None, None).unwrap();
+        assert_eq!((o.executor, o.native_fusion), (Native, true));
+        let o = renv(Some("ipu-sim:legacy"), None, None, None).unwrap();
+        assert_eq!((o.executor, o.legacy_interpreter), (Sequential, true));
+        // Case/whitespace-insensitive, like every other knob.
+        let o = renv(Some("  IPU-Sim:Par "), None, None, None).unwrap();
+        assert_eq!(o.executor, Parallel);
+    }
+
+    #[test]
+    fn agreeing_aliases_refine_a_pinned_backend() {
+        use ExecutorKind::*;
+        // GRAPHENE_PAR=8 with ipu-sim:par still sets the thread cap.
+        let o = renv(Some("ipu-sim:par"), Some("8"), None, None).unwrap();
+        assert_eq!((o.executor, o.threads), (Parallel, 8));
+        // NATIVE=1 with ipu-sim:native is redundant but consistent.
+        let o = renv(Some("ipu-sim:native"), None, Some("1"), None).unwrap();
+        assert_eq!(o.executor, Native);
+        // NATIVE=0 is a fusion toggle, not an executor choice — inert as
+        // a conflict, still honoured as the differential-testing leg.
+        let o = renv(Some("ipu-sim:native"), None, Some("0"), None).unwrap();
+        assert_eq!((o.executor, o.native_fusion), (Native, false));
+        // Disabling values never conflict.
+        let o = renv(Some("ipu-sim:seq"), Some("0"), Some("0"), Some("no")).unwrap();
+        assert_eq!((o.executor, o.legacy_interpreter, o.native_fusion), (Sequential, false, false));
+    }
+
+    #[test]
+    fn disagreeing_enabling_aliases_conflict_loudly() {
+        for (backend, par, native, legacy, var) in [
+            ("ipu-sim:seq", Some("1"), None, None, "GRAPHENE_PAR"),
+            ("ipu-sim:seq", None, Some("1"), None, "GRAPHENE_NATIVE"),
+            ("ipu-sim:seq", None, None, Some("1"), "GRAPHENE_LEGACY_INTERP"),
+            ("ipu-sim:par", None, Some("1"), None, "GRAPHENE_NATIVE"),
+            ("ipu-sim:native", Some("4"), None, None, "GRAPHENE_PAR"),
+            ("ipu-sim:legacy", Some("true"), None, None, "GRAPHENE_PAR"),
+            ("cpu", Some("1"), None, None, "GRAPHENE_PAR"),
+            ("cpu:par", None, Some("1"), None, "GRAPHENE_NATIVE"),
+            ("gpu-model", None, None, Some("1"), "GRAPHENE_LEGACY_INTERP"),
+        ] {
+            let e = renv(Some(backend), par, native, legacy).unwrap_err();
+            assert!(e.contains("conflicts with deprecated alias"), "{backend}: {e}");
+            assert!(e.contains(var), "{backend}: {e}");
+            assert!(e.contains(backend), "{backend}: {e}");
+        }
+    }
+
+    #[test]
+    fn non_engine_backends_resolve_to_defaults() {
+        // cpu / gpu-model solves never reach this engine; from_env must
+        // still succeed so unrelated engine construction keeps working.
+        for name in ["cpu", "cpu:par", "gpu-model"] {
+            assert_eq!(renv(Some(name), None, None, None).unwrap(), EngineOptions::default());
+            // Disabling aliases stay inert here too.
+            assert_eq!(
+                renv(Some(name), Some("0"), None, Some("off")).unwrap(),
+                EngineOptions::default()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_backend_names_error_with_the_known_list() {
+        for bad in ["tpu", "ipu", "ipu-sim:vector", "cpu:simd"] {
+            let e = renv(Some(bad), None, None, None).unwrap_err();
+            assert!(e.contains("unknown backend"), "{e}");
+            assert!(e.contains("ipu-sim:native") && e.contains("gpu-model"), "{e}");
+        }
+    }
+
+    #[test]
+    fn alias_typos_error_even_when_backend_is_set() {
+        assert!(renv(Some("cpu"), Some("garbage"), None, None)
+            .unwrap_err()
+            .contains("GRAPHENE_PAR"));
+        assert!(renv(Some("ipu-sim:seq"), None, Some("maybe"), None)
+            .unwrap_err()
+            .contains("GRAPHENE_NATIVE"));
+        assert!(renv(Some("ipu-sim"), None, None, Some("2"))
+            .unwrap_err()
+            .contains("GRAPHENE_LEGACY_INTERP"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use perf::{PerfRecorder, PerfReport, SpeedOfLight, StepKind, StepMeta, StepR
 pub use report::text_report;
 pub use resilience::{DetectionRecord, Resilience};
 pub use solve_report::{
-    CycleBreakdown, LabelEntry, SolveReport, TileUtil, SCHEMA_VERSION, UNLABELLED,
+    BackendInfo, CycleBreakdown, LabelEntry, SolveReport, TileUtil, SCHEMA_VERSION, UNLABELLED,
 };
 pub use trace::{parse_tile_lanes, ExchangeRecord, Lane, TraceEvent, TraceRecorder};
 

@@ -29,7 +29,9 @@
 //!     { "name": "<unlabelled>", ... }
 //!   ],
 //!   "tiles": { "used": 4, "min": 10, "median": 12, "max": 20,
-//!               "mean": 13.5, "balance": 0.675 }
+//!               "mean": 13.5, "balance": 0.675 },
+//!   "backend": { "name": "ipu-sim:seq", "family": "ipu-sim",
+//!                "timing": "cycle-model", "seconds": 0.0123 }
 //! }
 //! ```
 //!
@@ -49,10 +51,59 @@ pub const UNLABELLED: &str = "<unlabelled>";
 /// Current report schema version, serialised as `"schema"`. Version
 /// history: 1 (implicit — reports without the key) covers everything up
 /// to the resilience section; 2 adds the key itself and the optional
-/// `"perf"` performance-attribution section. All additions are
-/// backward-compatible: a v2 parser reads v1 reports (absent sections
+/// `"perf"` performance-attribution section; 3 adds the optional
+/// `"backend"` section naming the backend that executed the solve and
+/// the timing domain its seconds live in. All additions are
+/// backward-compatible: a v3 parser reads v1/v2 reports (absent sections
 /// parse as `None`/defaults).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Which backend executed a solve and in what timing domain it accounts
+/// (schema v3). Reports written by earlier schemas parse with `None`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackendInfo {
+    /// Registry name: `"ipu-sim:seq"`, `"cpu:par"`, `"gpu-model"`, ...
+    pub name: String,
+    /// Backend family: `"ipu-sim"` | `"cpu"` | `"gpu-model"`.
+    pub family: String,
+    /// Timing domain of `seconds`: `"cycle-model"` (simulated device
+    /// cycles at the modelled clock), `"wall-clock"` (measured host
+    /// time) or `"roofline-model"` (analytically derived).
+    pub timing: String,
+    /// Solve time in that domain — the authoritative per-backend number
+    /// for cross-backend figures (cycle-model backends also fill the
+    /// `cycles` section; wall/modelled backends leave it zeroed).
+    pub seconds: f64,
+}
+
+impl BackendInfo {
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("family", Json::from(self.family.as_str())),
+            ("timing", Json::from(self.timing.as_str())),
+            ("seconds", Json::from(self.seconds)),
+        ])
+    }
+
+    pub fn from_value(v: &Json) -> Result<BackendInfo, String> {
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("backend: missing string '{k}'"))
+        };
+        Ok(BackendInfo {
+            name: s("name")?,
+            family: s("family")?,
+            timing: s("timing")?,
+            seconds: v
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or("backend: missing number 'seconds'")?,
+        })
+    }
+}
 
 /// Totals of the engine's cycle accounting.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -133,6 +184,9 @@ pub struct SolveReport {
     /// before schema v2 and for runs that recorded no attribution (e.g.
     /// the legacy tree-walking interpreter, which has no plan steps).
     pub perf: Option<PerfReport>,
+    /// Which backend executed the solve and its timing domain (schema
+    /// v3); `None` for reports written before the backend abstraction.
+    pub backend: Option<BackendInfo>,
     /// Free-form extra fields, serialised under `"extra"`.
     pub extra: Vec<(String, Json)>,
 }
@@ -159,6 +213,7 @@ impl SolveReport {
             compile: None,
             resilience: None,
             perf: None,
+            backend: None,
             extra: Vec::new(),
         }
     }
@@ -289,6 +344,9 @@ impl SolveReport {
         if let Some(perf) = &self.perf {
             pairs.push(("perf".to_string(), perf.to_value()));
         }
+        if let Some(backend) = &self.backend {
+            pairs.push(("backend".to_string(), backend.to_value()));
+        }
         if !self.extra.is_empty() {
             pairs.push(("extra".to_string(), Json::Obj(self.extra.clone())));
         }
@@ -406,6 +464,8 @@ impl SolveReport {
             resilience: v.get("resilience").map(Resilience::from_value).transpose()?,
             // Absent before schema v2 and in runs without attribution.
             perf: v.get("perf").map(PerfReport::from_value).transpose()?,
+            // Absent before schema v3 (the backend abstraction).
+            backend: v.get("backend").map(BackendInfo::from_value).transpose()?,
             extra: v.get("extra").and_then(Json::as_obj).map(|o| o.to_vec()).unwrap_or_default(),
         })
     }
@@ -683,6 +743,44 @@ mod tests {
         assert_eq!(parsed.schema, 1);
         assert_eq!(parsed.perf, None);
         assert_eq!(parsed.cycles, r.cycles);
+    }
+
+    #[test]
+    fn backend_section_round_trips_and_legacy_reports_parse() {
+        let mut r = SolveReport::new("t").with_stats(&sample_stats());
+        // A report without a backend section has no "backend" key at all.
+        assert!(!r.to_json().contains("\"backend\""));
+        r.backend = Some(BackendInfo {
+            name: "cpu:par".to_string(),
+            family: "cpu".to_string(),
+            timing: "wall-clock".to_string(),
+            seconds: 0.25,
+        });
+        let back = SolveReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let info = back.backend.as_ref().unwrap();
+        assert_eq!(info.name, "cpu:par");
+        assert_eq!(info.family, "cpu");
+        assert_eq!(info.timing, "wall-clock");
+        assert_eq!(info.seconds, 0.25);
+
+        // A v2 report (no "backend" key) parses with None — backward
+        // compatible, and re-serialising stamps the current schema.
+        let mut legacy = r.to_value();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "backend");
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema" {
+                    *v = Json::from(2u64);
+                }
+            }
+        }
+        let parsed = SolveReport::from_json(&legacy.to_pretty()).unwrap();
+        assert_eq!(parsed.schema, 2);
+        assert_eq!(parsed.backend, None);
+        assert_eq!(parsed.cycles, r.cycles);
+        let restamped = SolveReport::from_json(&parsed.to_json()).unwrap();
+        assert_eq!(restamped.schema, SCHEMA_VERSION);
     }
 
     #[test]

@@ -19,6 +19,9 @@ fn pre_pr6_report_parses_as_schema_v1() {
     // sections added in v2 parse as absent rather than erroring.
     assert_eq!(r.schema, 1);
     assert_eq!(r.perf, None);
+    // ... as does the v3 "backend" section: pre-backend-abstraction
+    // reports parse with no backend attribution rather than erroring.
+    assert!(r.backend.is_none());
 
     // The v1 payload survives unchanged.
     assert_eq!(r.name, "fig8/poisson2d-32");
@@ -54,4 +57,23 @@ fn reserializing_a_v1_report_stamps_the_current_schema() {
     let res_json = |r: &SolveReport| r.resilience.as_ref().unwrap().to_value().to_pretty();
     assert_eq!(res_json(&back), res_json(&r));
     assert_eq!(back.perf, None);
+    assert!(back.backend.is_none(), "absent backend section stays absent");
+}
+
+#[test]
+fn v2_reports_without_a_backend_section_parse_as_backendless() {
+    // A v2-era artifact: explicit "schema": 2, no "backend" key. The v3
+    // section is additive, so the report parses with `backend: None`.
+    let mut v = SolveReport::from_json(FIXTURE).unwrap().to_value();
+    if let json::Json::Obj(pairs) = &mut v {
+        pairs.retain(|(k, _)| k != "backend");
+        for (k, val) in pairs.iter_mut() {
+            if k == "schema" {
+                *val = json::Json::from(2u64);
+            }
+        }
+    }
+    let r = SolveReport::from_value(&v).expect("v2 artifact must keep parsing");
+    assert_eq!(r.schema, 2);
+    assert!(r.backend.is_none());
 }

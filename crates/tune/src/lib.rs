@@ -562,4 +562,35 @@ mod tests {
         assert_ne!(solver_key(&["x"]), solver_key(&["x", ""]));
         assert_eq!(solver_key(&["cfg", "model"]), solver_key(&["cfg", "model"]));
     }
+
+    #[test]
+    fn keys_from_different_backends_never_collide() {
+        // The autotuner ends every solver-key part list with a
+        // `backend:<family>` component (see `graphene_core::autotune`);
+        // the same matrix + config tuned for another backend must hash to
+        // a different key, a different cache file, and a cache miss.
+        let shared = ["{\"type\":\"bi_cg_stab\"}", "model:1x4x6:mem65536:clk1330000000"];
+        let mut keys = Vec::new();
+        for family in ["backend:ipu-sim", "backend:cpu", "backend:gpu-model"] {
+            let parts: Vec<&str> = shared.iter().copied().chain([family]).collect();
+            keys.push(TuneKey::new(0xf00d, solver_key(&parts)));
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i].solver_key, keys[j].solver_key);
+                assert_ne!(keys[i].file_name(), keys[j].file_name());
+            }
+        }
+
+        // And through the cache itself: a plan stored under the ipu-sim
+        // key reads back only under that key.
+        let cache = tmp_cache("backend-keys");
+        let (cands, didx) = candidate_space(32, false, false, &[true]);
+        let cold = tune_with_cache(&cache, &keys[0], &cands, didx, 4, fake_score).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cache.load(&keys[0]).is_some());
+        assert!(cache.load(&keys[1]).is_none(), "cpu key must miss the ipu-sim plan");
+        assert!(cache.load(&keys[2]).is_none(), "gpu-model key must miss the ipu-sim plan");
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
 }

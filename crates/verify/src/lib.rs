@@ -14,6 +14,10 @@
 //! * [`differential`] — the runner that executes every entry of
 //!   [`graphene_core::config::verification_suite`] on the simulated IPU
 //!   and asserts per-configuration residual and forward-error bounds;
+//! * [`cross_backend`] — the same idea across *backends*: the Krylov
+//!   subset of the suite executed on both the IPU simulator and the
+//!   native CPU baseline through the `Backend` trait, each judged
+//!   against the oracle and against each other;
 //! * [`ulp_audit`] — sweeps the double-word (`twofloat`) primitives over
 //!   adversarial operands and asserts the Joldes et al. error bounds and
 //!   the normalisation invariant;
@@ -33,6 +37,7 @@
 //! up without code changes while the default `cargo test -q` stays within
 //! a ~30 s budget.
 
+pub mod cross_backend;
 pub mod differential;
 pub mod generators;
 pub mod invariants;

@@ -14,6 +14,8 @@ run "Table I"    table1                    | tee results/table1.txt
 run "Tables II/III" tables23               | tee results/tables23.txt
 run "Fig 5"      fig5                      | tee results/fig5.txt
 run "Fig 6"      fig6                      | tee results/fig6.txt
+# fig7 also writes per-backend artifacts results/fig7.<backend>.json
+# (ipu-sim / cpu / gpu-model) beside the combined document.
 run "Fig 7"      fig7                      | tee results/fig7.txt
 run "Fig 8"      fig8                      | tee results/fig8.txt
 run "Fig 9"      fig9                      | tee results/fig9.txt

@@ -27,15 +27,21 @@
 //!   configuration.
 //! * [`baselines`] — the CPU (native Rust, sequential + rayon) and GPU
 //!   (roofline model) comparators used by the evaluation benches.
+//! * [`backend`] — the device/backend abstraction unifying the simulator
+//!   and the baselines behind one `Backend` trait and the
+//!   `GRAPHENE_BACKEND` registry grammar (see
+//!   [`graphene_core::backends`] for the registry itself).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.
 
+pub use backend;
 pub use baselines;
 pub use dsl;
 pub use graph;
 pub use graphene_core;
 pub use ipu_sim;
+pub use profile;
 pub use sparse;
 pub use twofloat;
 
