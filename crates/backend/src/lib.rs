@@ -33,6 +33,7 @@
 
 pub mod cpu;
 pub mod gpu;
+pub mod pool;
 
 use std::fmt;
 use std::rc::Rc;
@@ -271,6 +272,34 @@ pub struct Capabilities {
     pub perf_attribution: bool,
     /// Uses host thread parallelism for its kernels.
     pub parallel_host: bool,
+}
+
+impl Capabilities {
+    /// The capabilities in `required` that this matrix lacks, by field
+    /// name — empty when every requirement is met. The handle pool
+    /// ([`pool::BackendPool`]) refuses construction when this is
+    /// non-empty, naming exactly what is missing.
+    pub fn missing(&self, required: Capabilities) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let mut need = |want: bool, have: bool, name: &'static str| {
+            if want && !have {
+                out.push(name);
+            }
+        };
+        need(required.cycle_accounting, self.cycle_accounting, "cycle_accounting");
+        need(required.wall_clock, self.wall_clock, "wall_clock");
+        need(required.modelled_time, self.modelled_time, "modelled_time");
+        need(required.fault_injection, self.fault_injection, "fault_injection");
+        need(required.auto_tuning, self.auto_tuning, "auto_tuning");
+        need(required.perf_attribution, self.perf_attribution, "perf_attribution");
+        need(required.parallel_host, self.parallel_host, "parallel_host");
+        out
+    }
+
+    /// Does this matrix satisfy every capability `required` asks for?
+    pub fn covers(&self, required: Capabilities) -> bool {
+        self.missing(required).is_empty()
+    }
 }
 
 // ----------------------------------------------------------------------

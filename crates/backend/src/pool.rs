@@ -1,0 +1,136 @@
+//! # Capabilities-checked backend handle pool
+//!
+//! The serving layer runs a fleet of worker threads, each owning its own
+//! backend instance ([`Backend`] handles hold `Rc`-based state and are
+//! deliberately *not* `Send` — a handle never migrates between threads).
+//! What *is* shared is the recipe: [`BackendPool`] wraps a
+//! `Send + Sync` factory closure plus the capability contract the fleet
+//! needs, validated **once at pool construction** against a probe
+//! instance so a capability mismatch (fault injection on the GPU model,
+//! auto-tuning on a wall-clock backend) is a typed
+//! [`BackendError::Unsupported`] at startup — never a per-job surprise
+//! deep inside a worker.
+//!
+//! ```text
+//!   BackendPool::new(required, factory)   — probe + capability check
+//!        │ (Arc<BackendPool> is Send + Sync)
+//!        ├── worker 0: pool.lease() ──► Box<dyn Backend>   (thread-local)
+//!        ├── worker 1: pool.lease() ──► Box<dyn Backend>
+//!        └── ...
+//! ```
+
+use crate::{Backend, BackendError, Capabilities};
+
+/// The factory recipe a pool stamps worker-local backends from.
+pub type BackendFactory = Box<dyn Fn() -> Box<dyn Backend> + Send + Sync>;
+
+/// A validated, shareable source of per-worker backend handles. See the
+/// module docs for the threading contract: the pool is `Send + Sync`
+/// (share it behind an `Arc`); the handles it leases are not (call
+/// [`lease`](BackendPool::lease) *on* the thread that will use the
+/// handle).
+pub struct BackendPool {
+    name: String,
+    family: &'static str,
+    capabilities: Capabilities,
+    factory: BackendFactory,
+}
+
+impl BackendPool {
+    /// Build a pool, probing one instance to validate the fleet's
+    /// capability requirements. A backend lacking any required
+    /// capability is a typed [`BackendError::Unsupported`] naming every
+    /// missing capability — construction-time refusal, not a runtime
+    /// panic.
+    pub fn new(
+        required: Capabilities,
+        factory: BackendFactory,
+    ) -> Result<BackendPool, BackendError> {
+        let probe = factory();
+        let caps = probe.capabilities();
+        let missing = caps.missing(required);
+        if !missing.is_empty() {
+            return Err(BackendError::Unsupported {
+                backend: probe.name(),
+                what: format!("required capabilities: {}", missing.join(", ")),
+            });
+        }
+        Ok(BackendPool { name: probe.name(), family: probe.family(), capabilities: caps, factory })
+    }
+
+    /// Stamp a fresh backend handle for the calling thread.
+    pub fn lease(&self) -> Box<dyn Backend> {
+        (self.factory)()
+    }
+
+    /// Registry name of the pooled backend (probed at construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Backend family of the pooled backend.
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// The probed capability matrix (a superset of the requirement the
+    /// pool was validated against).
+    pub fn capabilities(&self) -> Capabilities {
+        self.capabilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_refuses_missing_capabilities_by_name() {
+        // The CPU baseline measures wall-clock; asking the fleet for
+        // fault injection + cycle accounting must refuse at construction.
+        let required = Capabilities {
+            fault_injection: true,
+            cycle_accounting: true,
+            ..Capabilities::default()
+        };
+        let e =
+            BackendPool::new(required, Box::new(|| Box::new(crate::cpu::CpuBackend::new(false))))
+                .err()
+                .expect("cpu lacks fault injection");
+        match e {
+            BackendError::Unsupported { backend, what } => {
+                assert_eq!(backend, "cpu");
+                assert!(what.contains("fault_injection"), "{what}");
+                assert!(what.contains("cycle_accounting"), "{what}");
+            }
+            other => panic!("expected Unsupported, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pool_leases_fresh_handles_and_reports_probe_identity() {
+        let required = Capabilities { wall_clock: true, ..Capabilities::default() };
+        let pool =
+            BackendPool::new(required, Box::new(|| Box::new(crate::cpu::CpuBackend::new(false))))
+                .unwrap();
+        assert_eq!(pool.name(), "cpu");
+        assert_eq!(pool.family(), "cpu");
+        assert!(pool.capabilities().wall_clock);
+        let h1 = pool.lease();
+        let h2 = pool.lease();
+        assert_eq!(h1.name(), h2.name());
+        // The pool itself must be shareable across the fleet.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BackendPool>();
+    }
+
+    #[test]
+    fn capabilities_missing_lists_every_gap() {
+        let have = Capabilities { wall_clock: true, ..Capabilities::default() };
+        let want = Capabilities { wall_clock: true, ..Capabilities::default() };
+        assert!(have.covers(want));
+        let want = Capabilities { fault_injection: true, auto_tuning: true, ..want };
+        assert_eq!(have.missing(want), vec!["fault_injection", "auto_tuning"]);
+        assert!(!have.covers(want));
+    }
+}

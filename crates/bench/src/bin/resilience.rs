@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use graphene_bench::{header, Args};
 use graphene_core::config::SolverConfig;
-use graphene_core::runner::{solve, solve_or_panic, SolveOptions, SolveResult};
+use graphene_core::runner::{solve, SolveOptions, SolveResult, TOLERANCE_SAFETY};
 use graphene_core::{RecoveryPolicy, SolveStatus};
 use ipu_sim::fault::FaultPlan;
 use ipu_sim::model::IpuModel;
@@ -105,18 +105,26 @@ fn main() {
         record_history: false,
         ..SolveOptions::default()
     };
-    // The runner's judge admits true residuals up to tolerance x 100 (the
-    // recursive-vs-true residual safety factor); an accepted solution
-    // beyond that is an SDC escape.
-    let safety = 100.0;
+    // The runner's judge admits true residuals up to tolerance x
+    // TOLERANCE_SAFETY (the recursive-vs-true residual safety factor);
+    // an accepted solution beyond that is an SDC escape.
+    let safety = TOLERANCE_SAFETY;
 
     let mut stack_docs = Vec::new();
     let mut total_escapes = 0u32;
 
     for (stack_name, cfg, tol) in &stacks {
         // Healthy baseline: cycles for the overhead ratio, supersteps to
-        // confine the seeded coordinates inside the program.
-        let healthy = solve_or_panic(a.clone(), &b, cfg, &opts);
+        // confine the seeded coordinates inside the program. A failure
+        // here is a broken stack, not a fault-injection outcome — exit
+        // nonzero with the structured error instead of panicking.
+        let healthy = match solve(a.clone(), &b, cfg, &opts) {
+            Ok(res) => res,
+            Err(e) => {
+                eprintln!("[{stack_name}] healthy baseline failed: {e}");
+                std::process::exit(1);
+            }
+        };
         let smax = healthy.stats.supersteps().max(2);
         let healthy_cycles = healthy.stats.device_cycles();
 

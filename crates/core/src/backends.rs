@@ -150,6 +150,10 @@ pub(crate) fn external_solve(
     config: &SolverConfig,
     opts: &SolveOptions,
 ) -> Result<SolveResult, SolveError> {
+    // External backends have no mid-run abort hook, so the deadline is
+    // enforced post-hoc: a run that finishes past the cutoff is a typed
+    // DeadlineExceeded, never a silently late result.
+    let start = std::time::Instant::now();
     let be = backend_for(spec, opts);
     let caps = be.capabilities();
     let name = be.name();
@@ -199,6 +203,14 @@ pub(crate) fn external_solve(
     };
     let mut prepared = be.prepare(&plan).map_err(map_err)?;
     let run = prepared.execute(b, opts.x0.as_deref()).map_err(map_err)?;
+    if let Some(budget) = opts.deadline {
+        if start.elapsed() >= budget {
+            return Err(SolveError::DeadlineExceeded {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                budget_ms: budget.as_millis() as u64,
+            });
+        }
+    }
 
     // The same judgement contract as the IPU path: a non-finite or
     // tolerance-missing result is a typed error, never a silently wrong x.

@@ -32,6 +32,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use dsl::prelude::*;
 use dsl::TExpr;
@@ -99,6 +100,12 @@ pub enum SolveError {
     /// implement) or a backend-internal failure. Always a typed refusal,
     /// never a panic.
     Backend { backend: String, reason: String },
+    /// The solve's wall-clock deadline (`SolveOptions::deadline`) passed
+    /// before a converged result was produced. Enforced mid-run by the
+    /// [`Sentinel`]'s host-callback abort, so the device loop unwinds at
+    /// the next superstep instead of burning the rest of its budget.
+    /// Deadlines are terminal: the runner never retries past one.
+    DeadlineExceeded { elapsed_ms: u64, budget_ms: u64 },
 }
 
 impl fmt::Display for SolveError {
@@ -124,6 +131,9 @@ impl fmt::Display for SolveError {
             SolveError::Backend { backend, reason } => {
                 write!(f, "backend `{backend}`: {reason}")
             }
+            SolveError::DeadlineExceeded { elapsed_ms, budget_ms } => {
+                write!(f, "deadline exceeded: {elapsed_ms} ms elapsed of a {budget_ms} ms budget")
+            }
         }
     }
 }
@@ -145,6 +155,8 @@ pub enum DetectionKind {
     Stagnation,
     /// Finished finite but above the configured tolerance.
     ToleranceMiss,
+    /// The wall-clock deadline passed mid-attempt.
+    Deadline,
 }
 
 impl DetectionKind {
@@ -155,6 +167,7 @@ impl DetectionKind {
             DetectionKind::Divergence => "divergence",
             DetectionKind::Stagnation => "stagnation",
             DetectionKind::ToleranceMiss => "tolerance_miss",
+            DetectionKind::Deadline => "deadline",
         }
     }
 }
@@ -190,6 +203,8 @@ struct SentinelState {
 pub struct Sentinel {
     divergence_factor: f64,
     stagnation_window: usize,
+    /// Absolute wall-clock cutoff; past it the Deadline detector trips.
+    deadline: Option<Instant>,
     state: Rc<RefCell<SentinelState>>,
 }
 
@@ -198,6 +213,7 @@ impl Sentinel {
         Sentinel {
             divergence_factor,
             stagnation_window,
+            deadline: None,
             state: Rc::new(RefCell::new(SentinelState {
                 baseline: None,
                 best: f64::INFINITY,
@@ -207,9 +223,40 @@ impl Sentinel {
         }
     }
 
+    /// Arm the wall-clock deadline detector: past `at`, the sentinel
+    /// trips with [`DetectionKind::Deadline`] on the next poll (every
+    /// monitored sample and every loop-condition abort hook polls), so
+    /// the device loop unwinds within one superstep of the cutoff.
+    pub fn with_deadline(mut self, at: Instant) -> Sentinel {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Check the deadline detector. Returns true if the sentinel is
+    /// tripped (by this poll or any earlier detector).
+    pub fn poll_deadline(&self) -> bool {
+        let mut st = self.state.borrow_mut();
+        if st.detection.is_some() {
+            return true;
+        }
+        match self.deadline {
+            Some(at) if Instant::now() >= at => {
+                st.detection = Some(Detection {
+                    kind: DetectionKind::Deadline,
+                    iteration: 0,
+                    residual: f64::NAN,
+                    detail: "wall-clock deadline passed mid-attempt".into(),
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Feed one monitored (iteration, relative residual) sample. Trips at
     /// most once per attempt; later samples are ignored once tripped.
     pub fn observe(&self, iteration: usize, residual: f64) {
+        let _ = self.poll_deadline();
         let mut st = self.state.borrow_mut();
         if st.detection.is_some() {
             return;
@@ -282,7 +329,7 @@ impl Sentinel {
         let s = self.clone();
         let pid = pred.id;
         ctx.callback(move |view| {
-            if s.tripped() {
+            if s.poll_deadline() || s.tripped() {
                 view.write_f64(pid, &[0.0]);
             }
         });
@@ -380,6 +427,93 @@ impl Checkpointer {
 }
 
 // ----------------------------------------------------------------------
+// Backoff — seeded, jittered exponential retry delays
+// ----------------------------------------------------------------------
+
+/// The splitmix64 mixing function (same constants as
+/// `ipu_sim::fault` and `sparse::fingerprint`): a stateless, uniform
+/// 64-bit mix used wherever this crate needs deterministic
+/// pseudo-randomness that replays bit-identically under a fixed seed.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Jittered exponential backoff between retry attempts, plus a total
+/// wall-clock retry budget. Default-inert: `base_ms == 0` means no
+/// delays and no budget, so existing solves are byte-identical.
+///
+/// The delay for retry `k` (0-based) is
+/// `min(max_ms, base_ms * factor^k)`, scaled by a jitter factor drawn
+/// uniformly from `[1 - jitter, 1 + jitter)` via splitmix64 of
+/// `(seed, k)` — a pure function of the seed and the retry index, so a
+/// replay under the same seed sleeps the exact same schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry, in milliseconds. 0 disables
+    /// backoff entirely (no sleeps, no budget enforcement).
+    pub base_ms: u64,
+    /// Multiplier applied per subsequent retry (>= 1.0).
+    pub factor: f64,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_ms: u64,
+    /// Fraction of each delay randomised, in `[0, 1]`. 0: deterministic
+    /// un-jittered delays (still deterministic *with* jitter — the
+    /// jitter stream is seeded).
+    pub jitter: f64,
+    /// splitmix64 seed for the jitter stream.
+    pub seed: u64,
+    /// Total wall-clock budget for the whole retry loop, in
+    /// milliseconds, measured from solve entry. Once elapsed time
+    /// crosses it, the runner stops retrying and returns the
+    /// detection's typed error. 0: unlimited.
+    pub budget_ms: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff { base_ms: 0, factor: 2.0, max_ms: 10_000, jitter: 0.0, seed: 0, budget_ms: 0 }
+    }
+}
+
+impl Backoff {
+    /// Are delays (and the budget) active at all?
+    pub fn enabled(&self) -> bool {
+        self.base_ms > 0
+    }
+
+    /// Re-seed the jitter stream (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Backoff {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before 0-based retry `retry`, in milliseconds. Pure:
+    /// same `(self, retry)` → same answer, always.
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        if self.base_ms == 0 {
+            return 0;
+        }
+        let raw = self.base_ms as f64 * self.factor.max(1.0).powi(retry as i32);
+        let capped = raw.min(self.max_ms as f64);
+        let j = self.jitter.clamp(0.0, 1.0);
+        if j == 0.0 {
+            return capped.round() as u64;
+        }
+        let bits = splitmix64(self.seed ^ splitmix64(retry as u64));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (capped * (1.0 - j + 2.0 * j * unit)).round() as u64
+    }
+
+    /// Has the total retry budget been spent?
+    pub fn budget_exhausted(&self, elapsed: Duration) -> bool {
+        self.enabled() && self.budget_ms > 0 && elapsed.as_millis() as u64 >= self.budget_ms
+    }
+}
+
+// ----------------------------------------------------------------------
 // Recovery policy + degradation ladder
 // ----------------------------------------------------------------------
 
@@ -408,6 +542,9 @@ pub struct RecoveryPolicy {
     /// Treat a finite-but-above-tolerance finish as recoverable (retry /
     /// degrade) instead of returning `SolveStatus::MaxIters`.
     pub retry_on_tolerance_miss: bool,
+    /// Delay schedule between retries plus the total wall-clock retry
+    /// budget. Default-inert (no delays, no budget).
+    pub backoff: Backoff,
 }
 
 impl Default for RecoveryPolicy {
@@ -419,6 +556,7 @@ impl Default for RecoveryPolicy {
             divergence_factor: f64::INFINITY,
             stagnation_window: 0,
             retry_on_tolerance_miss: false,
+            backoff: Backoff::default(),
         }
     }
 }
@@ -434,6 +572,7 @@ impl RecoveryPolicy {
             divergence_factor: 1e4,
             stagnation_window: 60,
             retry_on_tolerance_miss: true,
+            backoff: Backoff::default(),
         }
     }
 
@@ -750,6 +889,77 @@ mod tests {
             Err(SolveError::Config(_))
         ));
         assert!(validate_config(&SolverConfig::paper_default(100, 20, 1e-13)).is_ok());
+    }
+
+    #[test]
+    fn backoff_default_is_inert() {
+        let b = Backoff::default();
+        assert!(!b.enabled());
+        assert_eq!(b.delay_ms(0), 0);
+        assert_eq!(b.delay_ms(7), 0);
+        assert!(!b.budget_exhausted(Duration::from_secs(3600)));
+        // The default policy embeds the inert backoff.
+        assert_eq!(RecoveryPolicy::default().backoff, Backoff::default());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let b = Backoff { base_ms: 10, factor: 2.0, max_ms: 55, ..Backoff::default() };
+        assert_eq!(b.delay_ms(0), 10);
+        assert_eq!(b.delay_ms(1), 20);
+        assert_eq!(b.delay_ms(2), 40);
+        assert_eq!(b.delay_ms(3), 55); // capped, not 80
+        assert_eq!(b.delay_ms(9), 55);
+    }
+
+    #[test]
+    fn backoff_jitter_is_seed_deterministic_and_bounded() {
+        let b = Backoff { base_ms: 100, jitter: 0.5, seed: 42, ..Backoff::default() };
+        for retry in 0..16 {
+            let d = b.delay_ms(retry);
+            assert_eq!(d, b.clone().delay_ms(retry), "replay must be bit-identical");
+            let raw = (100.0 * 2f64.powi(retry as i32)).min(10_000.0);
+            assert!(d as f64 >= (raw * 0.5).floor() && d as f64 <= (raw * 1.5).ceil(), "{d}");
+        }
+        // A different seed gives a different schedule somewhere.
+        let b2 = b.clone().with_seed(43);
+        assert!((0..16).any(|r| b.delay_ms(r) != b2.delay_ms(r)));
+    }
+
+    #[test]
+    fn backoff_budget_tracks_elapsed_wall_clock() {
+        let b = Backoff { base_ms: 5, budget_ms: 100, ..Backoff::default() };
+        assert!(!b.budget_exhausted(Duration::from_millis(99)));
+        assert!(b.budget_exhausted(Duration::from_millis(100)));
+        // No budget configured: never exhausted.
+        let b = Backoff { base_ms: 5, budget_ms: 0, ..Backoff::default() };
+        assert!(!b.budget_exhausted(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn sentinel_deadline_trips_once_past_the_cutoff() {
+        let s = Sentinel::new(f64::INFINITY, 0)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(s.poll_deadline());
+        let d = s.detection().unwrap();
+        assert_eq!(d.kind, DetectionKind::Deadline);
+        // A healthy sample doesn't clear it.
+        s.observe(1, 0.5);
+        assert_eq!(s.detection().unwrap().kind, DetectionKind::Deadline);
+
+        let s = Sentinel::new(f64::INFINITY, 0)
+            .with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!s.poll_deadline());
+        s.observe(1, 0.5);
+        assert!(!s.tripped());
+    }
+
+    #[test]
+    fn sentinel_observe_polls_the_deadline() {
+        let s = Sentinel::new(f64::INFINITY, 0)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        s.observe(3, 0.25);
+        assert_eq!(s.detection().unwrap().kind, DetectionKind::Deadline);
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub struct SolveOptions {
     /// `legacy_interpreter` and `native_fusion` are all left open, so
     /// explicitly pinned engine options keep their meaning unchanged.
     pub backend: Option<backend::BackendSpec>,
+    /// Wall-clock budget for the whole solve, measured from `solve()`
+    /// entry (`None`: unlimited — the default, byte-identical to before
+    /// this option existed). Enforced mid-run via the [`Sentinel`]'s
+    /// host-callback abort: past the cutoff, the device loop unwinds at
+    /// the next superstep and the solve returns
+    /// [`SolveError::DeadlineExceeded`]. Deadlines are terminal — the
+    /// recovery loop never restarts or degrades past one.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for SolveOptions {
@@ -124,6 +132,7 @@ impl Default for SolveOptions {
             tune_cache: None,
             grid: None,
             backend: None,
+            deadline: None,
         }
     }
 }
@@ -194,7 +203,10 @@ enum Verdict {
 /// Safety factor on the configured tolerance when judging the *host-side*
 /// residual: the device converges on its recursive f32 residual, whose
 /// floor sits slightly above the true residual the host recomputes.
-pub(crate) const TOLERANCE_SAFETY: f64 = 100.0;
+/// Public so independent judges (the serve layer's SDC check, the
+/// resilience bench) apply exactly the acceptance threshold the runner
+/// does.
+pub const TOLERANCE_SAFETY: f64 = 100.0;
 
 /// Solve `A x = b` with the configured solver hierarchy on the simulated
 /// IPU. `opts.x0` is the initial guess (zeros if `None`).
@@ -211,6 +223,12 @@ pub fn solve(
     config: &SolverConfig,
     opts: &SolveOptions,
 ) -> Result<SolveResult, SolveError> {
+    // Wall-clock origin for the deadline and the retry budget. Both are
+    // measured from entry, so time spent queued before `solve()` is the
+    // caller's to account for (the serve layer passes *remaining* time).
+    let solve_start = Instant::now();
+    let deadline_at = opts.deadline.map(|d| solve_start + d);
+
     // ---- Validation: typed errors instead of panics. -----------------
     if a.nrows != b.len() {
         return Err(SolveError::Config(format!(
@@ -240,6 +258,11 @@ pub fn solve(
                 a.nrows
             )));
         }
+    }
+
+    // An already-expired deadline never runs the device at all.
+    if deadline_at.is_some_and(|at| Instant::now() >= at) {
+        return Err(deadline_error(solve_start, opts.deadline));
     }
 
     // ---- Degenerate systems: answer on the host, no device run. ------
@@ -354,8 +377,21 @@ pub fn solve(
 
     loop {
         attempts += 1;
-        let att =
-            run_attempt(&a, b, &cfg, opts, &part, tiles, &policy, x0.as_deref(), &mut fault_state)?;
+        if deadline_at.is_some_and(|at| Instant::now() >= at) {
+            return Err(deadline_error(solve_start, opts.deadline));
+        }
+        let att = run_attempt(
+            &a,
+            b,
+            &cfg,
+            opts,
+            &part,
+            tiles,
+            &policy,
+            x0.as_deref(),
+            deadline_at,
+            &mut fault_state,
+        )?;
         checkpoints_total += att.checkpoints;
         total_device_cycles += att.stats.device_cycles();
 
@@ -465,40 +501,97 @@ pub fn solve(
                     residual: det.residual,
                     detail: det.detail.clone(),
                 });
+                // Deadlines are terminal: the budget is wall-clock, so
+                // another attempt can only finish even later.
+                if det.kind == DetectionKind::Deadline {
+                    return Err(deadline_error(solve_start, opts.deadline));
+                }
+                // The retry budget is wall-clock too (satellite: total
+                // retry budget on the backoff schedule).
+                let spent = policy.backoff.budget_exhausted(solve_start.elapsed());
                 // Roll back to the last finite checkpoint (else the
                 // caller's initial guess).
                 let rollback = att.snapshot_global.clone().or_else(|| opts.x0.clone());
-                if restarts_this_rung < policy.max_restarts {
+                if !spent && restarts_this_rung < policy.max_restarts {
                     restarts_this_rung += 1;
                     restarts_total += 1;
                     x0 = rollback;
+                    backoff_sleep(&policy, attempts - 1, solve_start, deadline_at, opts)?;
                     continue;
                 }
-                if (degradations.len() as u32) < policy.max_degradations {
+                if !spent && (degradations.len() as u32) < policy.max_degradations {
                     if let Some((next, desc)) = degrade(&cfg) {
                         cfg = next;
                         degradations.push(desc);
                         restarts_this_rung = 0;
                         x0 = rollback;
+                        backoff_sleep(&policy, attempts - 1, solve_start, deadline_at, opts)?;
                         continue;
                     }
                 }
                 // Budget spent: surface the detection as a typed error.
-                return Err(match det.kind {
-                    DetectionKind::NonFinite => SolveError::NonFinite { attempt: attempts },
-                    DetectionKind::Divergence => {
-                        SolveError::Diverged { attempt: attempts, residual: det.residual }
-                    }
-                    DetectionKind::Stagnation => SolveError::Stagnated { attempt: attempts },
-                    DetectionKind::ToleranceMiss => SolveError::ToleranceNotReached {
-                        residual: att.residual,
-                        target: target_tolerance(&cfg).unwrap_or(0.0),
-                        attempts,
-                    },
-                });
+                return Err(detection_error(&det, attempts, att.residual, &cfg));
             }
         }
     }
+}
+
+/// The typed error a spent recovery budget surfaces for a detection.
+fn detection_error(
+    det: &Detection,
+    attempts: u32,
+    residual: f64,
+    cfg: &SolverConfig,
+) -> SolveError {
+    match det.kind {
+        DetectionKind::NonFinite => SolveError::NonFinite { attempt: attempts },
+        DetectionKind::Divergence => {
+            SolveError::Diverged { attempt: attempts, residual: det.residual }
+        }
+        DetectionKind::Stagnation => SolveError::Stagnated { attempt: attempts },
+        DetectionKind::ToleranceMiss => SolveError::ToleranceNotReached {
+            residual,
+            target: target_tolerance(cfg).unwrap_or(0.0),
+            attempts,
+        },
+        // Deadline detections are returned via `deadline_error` (which
+        // knows the solve's start time) before this mapping is reached.
+        DetectionKind::Deadline => SolveError::DeadlineExceeded { elapsed_ms: 0, budget_ms: 0 },
+    }
+}
+
+/// The [`SolveError::DeadlineExceeded`] for a solve that started at
+/// `start` under the given budget.
+fn deadline_error(start: Instant, budget: Option<std::time::Duration>) -> SolveError {
+    SolveError::DeadlineExceeded {
+        elapsed_ms: start.elapsed().as_millis() as u64,
+        budget_ms: budget.map(|d| d.as_millis() as u64).unwrap_or(0),
+    }
+}
+
+/// Sleep the policy's backoff delay before 0-based retry `retry`.
+/// Default-inert (zero delay, zero syscalls); with a deadline armed, a
+/// sleep that would cross the cutoff returns `DeadlineExceeded` instead
+/// of sleeping into certain failure.
+fn backoff_sleep(
+    policy: &RecoveryPolicy,
+    retry: u32,
+    solve_start: Instant,
+    deadline_at: Option<Instant>,
+    opts: &SolveOptions,
+) -> Result<(), SolveError> {
+    let delay = policy.backoff.delay_ms(retry);
+    if delay == 0 {
+        return Ok(());
+    }
+    let delay = std::time::Duration::from_millis(delay);
+    if let Some(at) = deadline_at {
+        if Instant::now() + delay >= at {
+            return Err(deadline_error(solve_start, opts.deadline));
+        }
+    }
+    std::thread::sleep(delay);
+    Ok(())
 }
 
 /// Pin the engine-level options an `ipu-sim:<variant>` backend selection
@@ -626,6 +719,7 @@ fn run_attempt(
     tiles: usize,
     policy: &RecoveryPolicy,
     x0: Option<&[f64]>,
+    deadline_at: Option<Instant>,
     fault_state: &mut Option<FaultState>,
 ) -> Result<Attempt, SolveError> {
     let _ = tiles;
@@ -636,9 +730,15 @@ fn run_attempt(
 
     let b_rc = Rc::new(b.to_vec());
     let monitor = Monitor::new(&sys, b_rc.clone());
-    let sentinel = policy
-        .wants_sentinel()
-        .then(|| Sentinel::new(policy.divergence_factor, policy.stagnation_window));
+    // A deadline arms the sentinel even under an otherwise-inert policy:
+    // its abort hook is what unwinds the device loop at the cutoff.
+    let sentinel = (policy.wants_sentinel() || deadline_at.is_some()).then(|| {
+        let s = Sentinel::new(policy.divergence_factor, policy.stagnation_window);
+        match deadline_at {
+            Some(at) => s.with_deadline(at),
+            None => s,
+        }
+    });
     let checkpointer =
         (policy.checkpoint_every > 0).then(|| Checkpointer::new(policy.checkpoint_every));
 

@@ -47,6 +47,33 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the bucket holding the target rank — the standard
+    /// fixed-bucket estimator (what the serving layer reports as
+    /// p50/p99). The first bucket interpolates from 0 (observations are
+    /// non-negative latencies); ranks landing in the overflow bucket
+    /// clamp to the last finite bound, since the histogram cannot know
+    /// how far past it they went.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if next as f64 >= target && c > 0 {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let Some(&hi) = self.bounds.get(i) else {
+                    return lo; // overflow bucket: clamp to the last bound
+                };
+                return lo + (target - cum as f64) / c as f64 * (hi - lo);
+            }
+            cum = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// The registry. Cheap to clone, `Default` is empty.
@@ -205,6 +232,24 @@ mod tests {
         assert_eq!(h.counts, vec![1, 1, 1, 2]);
         assert_eq!(h.count, 5);
         assert!((h.mean() - 5.5525 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_and_clamp() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 10 observations spread evenly through the first bucket.
+        for _ in 0..10 {
+            h.observe(5.0);
+        }
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+        // An overflow observation clamps to the last finite bound.
+        h.observe(1e9);
+        assert!((h.quantile(1.0) - 1000.0).abs() < 1e-9);
+        // Quantiles are monotone in q.
+        let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99].iter().map(|&q| h.quantile(q)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Bounded per-tenant queues with deficit-round-robin scheduling.
+//!
+//! Admission control and fairness are *pure data-structure* concerns —
+//! no threads, no clocks — so the whole robustness surface here is
+//! property-testable (see `tests/properties.rs`):
+//!
+//! * **Bounded**: each tenant's fresh-admission queue never exceeds
+//!   `capacity`; [`TenantQueues::admit`] rejects with
+//!   [`ServeError::QueueFull`] exactly when the lane is full
+//!   (reject-not-block, never a silent drop). Retries of
+//!   already-admitted jobs requeue into a separate retry lane exempt
+//!   from the cap — their liability was counted at admission, and
+//!   bouncing a retry would *lose* the job, violating accounting.
+//! * **Fair**: deficit round-robin over tenants in ring order. Each
+//!   visit, a tenant with pending work earns `quantum` deficit and is
+//!   served when its accumulated deficit covers the head job's cost
+//!   (`job_cost`, capped at [`MAX_COST`]); an idle tenant's deficit
+//!   resets so it cannot hoard credit. Hence a tenant with pending work
+//!   is served at least once per `ceil(MAX_COST / quantum)` full ring
+//!   passes, no matter what the other tenants submit — the starvation
+//!   bound the property tests enforce.
+//!
+//! Within one tenant, the retry lane is served before the fresh lane
+//! (an in-flight job finishes before new liability starts), and each
+//! lane is FIFO.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use crate::{JobId, JobSpec, ServeError};
+
+/// Cost normalisation: one cost unit per this many nonzeros.
+pub const COST_NNZ: usize = 4096;
+/// Cost ceiling — bounds how long a big job can defer the ring, and
+/// therefore the DRR starvation bound.
+pub const MAX_COST: u64 = 8;
+
+/// DRR cost of a job with `nnz` nonzeros: 1 + nnz/[`COST_NNZ`], capped
+/// at [`MAX_COST`]. Always ≥ 1 so deficits are consumed.
+pub fn job_cost(nnz: usize) -> u64 {
+    (1 + (nnz / COST_NNZ) as u64).min(MAX_COST)
+}
+
+/// A job sitting in (or travelling through) the queues.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    pub id: JobId,
+    pub spec: JobSpec,
+    /// Attempts already consumed (0 for a fresh job).
+    pub attempts: u32,
+    /// Admission time — queue-latency metrics and queued-expiry checks.
+    pub enqueued: Instant,
+    /// Absolute wall-clock deadline, resolved at admission.
+    pub deadline_at: Option<Instant>,
+    /// DRR cost (public so property tests can fabricate adversarial
+    /// costs directly; the engine always sets `job_cost(nnz)`).
+    pub cost: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantLane {
+    fresh: VecDeque<QueuedJob>,
+    retry: VecDeque<QueuedJob>,
+    deficit: u64,
+}
+
+impl TenantLane {
+    fn has_work(&self) -> bool {
+        !self.fresh.is_empty() || !self.retry.is_empty()
+    }
+
+    fn head_cost(&self) -> Option<u64> {
+        self.retry.front().or_else(|| self.fresh.front()).map(|j| j.cost.clamp(1, MAX_COST))
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        self.retry.pop_front().or_else(|| self.fresh.pop_front())
+    }
+}
+
+/// The per-tenant bounded queues plus the DRR scheduler state.
+#[derive(Debug)]
+pub struct TenantQueues {
+    capacity: usize,
+    quantum: u64,
+    /// Tenant name → lane. `BTreeMap` so ring order is deterministic
+    /// (lexicographic by tenant), independent of submission order.
+    lanes: BTreeMap<String, TenantLane>,
+    /// Ring position: index into the sorted tenant list where the next
+    /// `pick` starts.
+    cursor: usize,
+}
+
+impl TenantQueues {
+    pub fn new(capacity: usize, quantum: u64) -> TenantQueues {
+        TenantQueues {
+            capacity: capacity.max(1),
+            quantum: quantum.max(1),
+            lanes: BTreeMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Jobs currently queued (both lanes, all tenants).
+    pub fn len(&self) -> usize {
+        self.lanes.values().map(|l| l.fresh.len() + l.retry.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lanes.values().all(|l| !l.has_work())
+    }
+
+    /// Fresh-lane depth for one tenant (the bounded quantity).
+    pub fn depth(&self, tenant: &str) -> usize {
+        self.lanes.get(tenant).map_or(0, |l| l.fresh.len())
+    }
+
+    /// Admit a fresh job, or reject it when the tenant's bounded lane is
+    /// at capacity. Never blocks, never drops silently.
+    pub fn admit(&mut self, job: QueuedJob) -> Result<(), ServeError> {
+        let tenant = job.spec.tenant.clone();
+        let lane = self.lanes.entry(tenant.clone()).or_default();
+        if lane.fresh.len() >= self.capacity {
+            return Err(ServeError::QueueFull { tenant, capacity: self.capacity });
+        }
+        lane.fresh.push_back(job);
+        Ok(())
+    }
+
+    /// Requeue an already-admitted job for retry (cap-exempt — see the
+    /// module docs).
+    pub fn requeue(&mut self, job: QueuedJob) {
+        self.lanes.entry(job.spec.tenant.clone()).or_default().retry.push_back(job);
+    }
+
+    /// Take the next job under deficit round-robin, or `None` when every
+    /// lane is empty. O(tenants × ceil(MAX_COST/quantum)) worst case.
+    pub fn pick(&mut self) -> Option<QueuedJob> {
+        if self.is_empty() {
+            return None;
+        }
+        let tenants: Vec<String> = self.lanes.keys().cloned().collect();
+        let n = tenants.len();
+        // Enough full ring passes that any working tenant's deficit
+        // reaches MAX_COST; +1 covers a cursor mid-ring start.
+        let rounds = (MAX_COST / self.quantum + 2) as usize;
+        for _ in 0..rounds * n {
+            let idx = self.cursor % n;
+            self.cursor = (self.cursor + 1) % n;
+            let lane = self.lanes.get_mut(&tenants[idx]).expect("ring tenant exists");
+            let Some(cost) = lane.head_cost() else {
+                // Idle tenants forfeit their credit: deficits only
+                // accumulate while work is actually waiting.
+                lane.deficit = 0;
+                continue;
+            };
+            lane.deficit += self.quantum;
+            if lane.deficit >= cost {
+                lane.deficit -= cost;
+                return lane.pop();
+            }
+        }
+        unreachable!("a non-empty ring yields within ceil(MAX_COST/quantum)+2 passes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_core::config::SolverConfig;
+    use sparse::formats::CsrMatrix;
+    use std::sync::Arc;
+
+    fn qjob(tenant: &str, id: JobId, cost: u64) -> QueuedJob {
+        let a = Arc::new(CsrMatrix::identity(2));
+        QueuedJob {
+            id,
+            spec: JobSpec::new(tenant, a.clone(), vec![1.0, 1.0], SolverConfig::Identity),
+            attempts: 0,
+            enqueued: Instant::now(),
+            deadline_at: None,
+            cost,
+        }
+    }
+
+    #[test]
+    fn cost_is_clamped_and_positive() {
+        assert_eq!(job_cost(0), 1);
+        assert_eq!(job_cost(COST_NNZ), 2);
+        assert_eq!(job_cost(COST_NNZ * 100), MAX_COST);
+    }
+
+    #[test]
+    fn admission_rejects_at_capacity_per_tenant() {
+        let mut q = TenantQueues::new(2, 1);
+        assert!(q.admit(qjob("a", 1, 1)).is_ok());
+        assert!(q.admit(qjob("a", 2, 1)).is_ok());
+        let err = q.admit(qjob("a", 3, 1)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { tenant: "a".into(), capacity: 2 });
+        // A different tenant has its own budget.
+        assert!(q.admit(qjob("b", 4, 1)).is_ok());
+        assert_eq!(q.depth("a"), 2);
+        assert_eq!(q.depth("b"), 1);
+    }
+
+    #[test]
+    fn requeue_is_cap_exempt_and_served_first() {
+        let mut q = TenantQueues::new(1, 4);
+        q.admit(qjob("a", 1, 1)).unwrap();
+        // Lane full; a retry of job 9 still lands.
+        q.requeue(qjob("a", 9, 1));
+        assert_eq!(q.pick().unwrap().id, 9, "retry lane precedes fresh lane");
+        assert_eq!(q.pick().unwrap().id, 1);
+        assert!(q.pick().is_none());
+    }
+
+    #[test]
+    fn drr_interleaves_unequal_tenants() {
+        // Tenant `a` floods 12 cheap jobs; `b` has 3. With quantum 1 and
+        // unit costs, service alternates — b finishes within the first
+        // six picks despite a's flood.
+        let mut q = TenantQueues::new(16, 1);
+        for i in 0..12 {
+            q.admit(qjob("a", 100 + i, 1)).unwrap();
+        }
+        for i in 0..3 {
+            q.admit(qjob("b", 200 + i, 1)).unwrap();
+        }
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pick()).map(|j| j.id).collect();
+        assert_eq!(order.len(), 15);
+        let last_b = order.iter().rposition(|id| *id >= 200).unwrap();
+        assert!(last_b <= 5, "b starved: finished at pick {last_b} in {order:?}");
+    }
+
+    #[test]
+    fn expensive_jobs_wait_for_deficit() {
+        // `a` has one MAX_COST job, `b` a stream of unit jobs; with
+        // quantum 1, b is served while a's deficit accrues, then a runs.
+        let mut q = TenantQueues::new(32, 1);
+        q.admit(qjob("a", 1, MAX_COST)).unwrap();
+        for i in 0..20 {
+            q.admit(qjob("b", 10 + i, 1)).unwrap();
+        }
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pick()).map(|j| j.id).collect();
+        let pos_a = order.iter().position(|id| *id == 1).unwrap();
+        assert!(pos_a >= 4, "MAX_COST job ran before earning deficit: {order:?}");
+        assert!(pos_a < MAX_COST as usize + 2, "expensive job starved: {order:?}");
+    }
+}

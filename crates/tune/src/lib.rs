@@ -331,12 +331,23 @@ impl PlanCache {
     }
 
     /// Persist `plan` under `key` (write-to-temp + rename, so concurrent
-    /// readers never observe a torn file).
+    /// readers never observe a torn file). The temp name is unique per
+    /// *writer* — pid alone is not enough, because two threads of one
+    /// process sharing a temp path could rename each other's
+    /// half-written file into place — so a process-wide counter joins
+    /// the pid and every concurrent `store` works on its own file.
     pub fn store(&self, key: &TuneKey, plan: &TunedPlan) -> Result<PathBuf, String> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
         let path = self.path_of(key);
-        let tmp = self.dir.join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+        let tmp = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            NEXT_TMP.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, plan.to_value(key).to_pretty())
             .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path)
@@ -523,6 +534,57 @@ mod tests {
         assert!(!again.cache_hit);
         assert_eq!(again.plan, cold.plan);
         assert!(cache.load(&key).is_some(), "re-tune must repair the entry");
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_reads() {
+        // Satellite contract: N threads hammer `store`/`load` on the
+        // same key; every `load` must return either a clean miss or a
+        // plan one of the writers actually stored — never a torn read,
+        // a parse error surfacing, or a panic.
+        let cache = tmp_cache("concurrent");
+        let key = TuneKey::new(0xfeed, 0xbeef);
+        let variant = |i: u64| TunedPlan {
+            strategy: Strategy::Contiguous,
+            rows_per_tile: 16 + (i as usize % 8) * 16,
+            optimise: i % 2 == 0,
+            sell_c: 4,
+            modelled_cycles: 1000 + i,
+            default_cycles: 2000,
+            candidates_scored: i,
+        };
+        let n_threads: u64 = 8;
+        let iters: u64 = 40;
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..iters {
+                        let id = t * iters + i;
+                        cache.store(&key, &variant(id)).expect("store must not fail");
+                        if let Some(seen) = cache.load(&key) {
+                            // Whatever we read is exactly some writer's
+                            // plan: the full struct round-trips, so a
+                            // torn/interleaved file cannot sneak through
+                            // (it would fail parse => a clean miss).
+                            assert_eq!(
+                                seen,
+                                variant(seen.candidates_scored),
+                                "torn read: {seen:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no writer thread may panic");
+        }
+        // The dust settles on one complete winner, and no temp litter
+        // under a *different* writer id can shadow it.
+        let final_plan = cache.load(&key).expect("a completed store must be visible");
+        assert_eq!(final_plan, variant(final_plan.candidates_scored));
         let _ = std::fs::remove_dir_all(&cache.dir);
     }
 

@@ -23,6 +23,10 @@ run "Fig 10"     fig10                     | tee results/fig10.txt
 run "Table IV"   table4                    | tee results/table4.txt
 run "Ablations"  ablations                 | tee results/ablations.txt
 run "Resilience" resilience                | tee results/resilience.txt
+# Serving layer: throughput first, then the chaos gate (seeded storm +
+# panic/poison/deadline jobs, double-run determinism, zero SDC escapes).
+run "Serve (throughput)" serve             | tee results/serve.txt
+run "Serve (chaos)" serve -- --chaos --out results/serve_chaos.json | tee results/serve_chaos.txt
 run "Perf attribution" perf_attrib         | tee results/perf_attrib.txt
 run "Native kernels" native_speedup        | tee results/native_speedup.txt
 # Auto-tuner gate: cold search populates results/tune-cache, the second

@@ -31,6 +31,11 @@
 //!   and the baselines behind one `Backend` trait and the
 //!   `GRAPHENE_BACKEND` registry grammar (see
 //!   [`graphene_core::backends`] for the registry itself).
+//! * [`serve`] — the fault-tolerant multi-tenant solve service: bounded
+//!   per-tenant queues with deficit-round-robin fairness, per-job
+//!   deadlines, seeded retry backoff, poison-job quarantine,
+//!   worker-crash containment and chaos-storm testing with an
+//!   independent SDC judge.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.
@@ -42,6 +47,7 @@ pub use graph;
 pub use graphene_core;
 pub use ipu_sim;
 pub use profile;
+pub use serve;
 pub use sparse;
 pub use twofloat;
 
